@@ -1,0 +1,20 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench figures clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure series into benchmarks/results/
+figures: bench
+	@ls benchmarks/results/
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_benchmark .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Table 1 or Figures 3–7) or one of the extension experiments.  Each prints
+the same rows/series the paper reports and writes them under
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, lines: list[str]) -> None:
+    """Print a result block and persist it for EXPERIMENTS.md."""
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====")
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,91 @@
+"""Extension FT — IMe's integrated fault tolerance, measured end to end.
+
+§2's motivating claim: IMe carries "integrated low-cost multiple fault
+tolerance, more efficient than the checkpoint/restart technique usually
+applied in Gaussian Elimination".  This bench measures, on the DES:
+
+* the runtime overhead of carrying checksum protection (fault-free run,
+  FT-enabled vs plain IMeP);
+* the cost of an actual mid-solve rank failure + distributed recovery;
+* the modelled comparison against checkpoint/restart at paper scale.
+"""
+
+import numpy as np
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.perfmodel.calibration import IME_PROFILE
+from repro.runtime.job import Job
+from repro.solvers.ime.fault import FtOverheadModel
+from repro.solvers.ime.ft_parallel import FtOptions, ime_ft_parallel_program
+from repro.solvers.ime.parallel import ime_parallel_program
+from repro.workloads.generator import generate_system
+
+from .conftest import emit
+
+N = 120
+RANKS = 9  # 8 data ranks + checksum rank
+
+
+def _run(program, ranks, **prog_kwargs):
+    machine = small_test_machine(cores_per_socket=ranks)
+    placement = place_ranks(ranks, LoadShape.HALF_ONE_SOCKET, machine)
+    job = Job(machine, placement, profile=IME_PROFILE)
+    system = generate_system(N, seed=8)
+
+    def rank_program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        out = yield from program(ctx, comm, system=sys_arg, **prog_kwargs)
+        return out
+
+    result = job.run(rank_program)
+    return result, system
+
+
+def test_fault_tolerance_end_to_end(benchmark, results_dir):
+    def scenario():
+        plain, system = _run(ime_parallel_program, RANKS - 1)
+        ft_clean, _ = _run(ime_ft_parallel_program, RANKS,
+                           options=FtOptions(n_checksums=15))
+        ft_fail, _ = _run(
+            ime_ft_parallel_program, RANKS,
+            options=FtOptions(n_checksums=15, fail_rank=3,
+                              fail_level=N // 2),
+        )
+        return plain, ft_clean, ft_fail, system
+
+    plain, ft_clean, ft_fail, system = benchmark.pedantic(
+        scenario, rounds=1, iterations=1
+    )
+    ref = np.linalg.solve(system.a, system.b)
+    x_fail, report = ft_fail.rank_results[0]
+    assert np.allclose(x_fail, ref, atol=1e-8)
+    protection = (ft_clean.duration - plain.duration) / plain.duration
+    failure_cost = (ft_fail.duration - ft_clean.duration) / ft_clean.duration
+
+    model = FtOverheadModel(n=34560)
+    lines = [
+        f"n={N}, {RANKS - 1} data ranks + 1 checksum rank (DES execution)",
+        f"plain IMeP duration          : {plain.duration * 1e3:9.3f} ms",
+        f"FT IMeP, fault-free          : {ft_clean.duration * 1e3:9.3f} ms "
+        f"(+{protection * 100:.1f}% protection overhead)",
+        f"FT IMeP, rank 3 dies @ level {N // 2}: "
+        f"{ft_fail.duration * 1e3:9.3f} ms "
+        f"(+{failure_cost * 100:.1f}% over fault-free FT)",
+        f"recovery report: {report}",
+        "",
+        "modelled at paper scale (n=34560):",
+        f"  checksum protection : {model.ime_checksum_overhead_seconds():8.3f} s",
+        f"  checkpoint/restart  : {model.checkpoint_overhead_seconds():8.3f} s",
+        f"  IMe recovery (2 col): {model.ime_recovery_seconds(2):8.4f} s",
+        f"  checkpoint recovery : {model.checkpoint_recovery_seconds():8.3f} s",
+    ]
+    emit(results_dir, "fault_tolerance", lines)
+
+    # The §2 claim, quantified: protection costs little; recovery beats
+    # checkpoint/restart by orders of magnitude.
+    assert protection < 0.30
+    assert (model.ime_checksum_overhead_seconds()
+            < 0.01 * model.checkpoint_overhead_seconds())
+    assert (model.ime_recovery_seconds(2)
+            < 0.01 * model.checkpoint_recovery_seconds())

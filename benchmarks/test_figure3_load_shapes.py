@@ -1,0 +1,37 @@
+"""Experiment F3 — regenerate Figure 3 (full vs half-loaded processors).
+
+Paper: §5.2 — "The full load configuration always consumes less than the
+other ones.  Moreover, there are only slight differences between the
+configuration that deploys 24 cores on one socket and the one that
+distributes 24 cores on two sockets."
+"""
+
+import pytest
+
+from repro.experiments.figures import figure3
+
+from .conftest import emit
+
+
+def test_figure3_full_vs_half_load(benchmark, results_dir):
+    data = benchmark(figure3)
+
+    lines = [f"{'algorithm':>10} {'shape':>14} | " +
+             " ".join(f"{n:>12}" for n in (8640, 17280, 25920, 34560))]
+    for algorithm, shapes in data.items():
+        for shape, series in shapes.items():
+            row = " ".join(f"{series[n]:12.0f}" for n in sorted(series))
+            lines.append(f"{algorithm:>10} {shape:>14} | {row} J")
+    emit(results_dir, "figure3", lines)
+
+    for algorithm, shapes in data.items():
+        full = shapes["full"]
+        half1 = shapes["half-1socket"]
+        half2 = shapes["half-2sockets"]
+        for n in full:
+            # Full load always consumes less energy than either half load.
+            assert full[n] < half1[n], (algorithm, n)
+            assert full[n] < half2[n], (algorithm, n)
+            # The two half-load shapes are nearly indistinguishable
+            # ("the lines overlap multiple times").
+            assert half1[n] == pytest.approx(half2[n], rel=0.10), (algorithm, n)

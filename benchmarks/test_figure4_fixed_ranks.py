@@ -1,0 +1,44 @@
+"""Experiment F4 — regenerate Figure 4 (energy & time vs matrix dimension).
+
+Paper: §5.2 — "The total energy consumption and the duration of the
+execution increase with the dimension of the input matrix … the energy
+consumption of IMe is always equal to or higher than ScaLAPACK … the trend
+seems exponential … the dependency between the energy consumption and the
+duration clearly follows the same course."
+"""
+
+from repro.experiments.figures import figure4
+from repro.workloads.generator import PAPER_MATRIX_SIZES
+
+from .conftest import emit
+
+
+def test_figure4_energy_time_fixed_ranks(benchmark, results_dir):
+    data = benchmark(figure4)
+
+    lines = []
+    for algorithm, by_ranks in data.items():
+        for ranks, series in by_ranks.items():
+            for n in sorted(series):
+                v = series[n]
+                lines.append(
+                    f"{algorithm:>10} ranks={ranks:>4} n={n:>6}  "
+                    f"E={v['energy_j']:>12.0f} J   T={v['duration_s']:>8.2f} s"
+                )
+    emit(results_dir, "figure4", lines)
+
+    for algorithm, by_ranks in data.items():
+        for ranks, series in by_ranks.items():
+            sizes = sorted(series)
+            energies = [series[n]["energy_j"] for n in sizes]
+            durations = [series[n]["duration_s"] for n in sizes]
+            # Monotone growth with the matrix dimension.
+            assert energies == sorted(energies), (algorithm, ranks)
+            assert durations == sorted(durations), (algorithm, ranks)
+            # Superlinear ("exponential-looking") energy growth.
+            dim_ratio = sizes[-1] / sizes[0]
+            assert energies[-1] / energies[0] > 2 * dim_ratio
+    # IMe's energy ≥ ScaLAPACK's in every dense (144-rank) configuration.
+    for n in PAPER_MATRIX_SIZES:
+        assert (data["ime"][144][n]["energy_j"]
+                >= data["scalapack"][144][n]["energy_j"])

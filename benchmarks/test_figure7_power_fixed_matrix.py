@@ -1,0 +1,36 @@
+"""Experiment F7 — regenerate Figure 7 (energy & power vs ranks).
+
+Paper: §5.2 — "it is clear the dependency of power from the deployed
+number of ranks.  The values of power consumption of IMe and ScaLAPACK are
+similar for the different rank values and strongly follow a directly
+proportional course."
+"""
+
+import pytest
+
+from repro.experiments.figures import figure7
+
+from .conftest import emit
+
+
+def test_figure7_energy_power_fixed_matrix(benchmark, results_dir):
+    data = benchmark(figure7)
+
+    lines = []
+    for algorithm, by_n in data.items():
+        for n, series in by_n.items():
+            for ranks in sorted(series):
+                v = series[ranks]
+                lines.append(
+                    f"{algorithm:>10} n={n:>6} ranks={ranks:>4}  "
+                    f"E={v['energy_j']:>12.0f} J   P={v['power_w']:>9.0f} W"
+                )
+    emit(results_dir, "figure7", lines)
+
+    for algorithm, by_n in data.items():
+        for n, series in by_n.items():
+            p = {r: series[r]["power_w"] for r in series}
+            # Power directly proportional to the deployed ranks: 144→576
+            # quadruples the machine, 576→1296 grows it 2.25×.
+            assert p[576] / p[144] == pytest.approx(4.0, rel=0.35), (algorithm, n)
+            assert p[1296] / p[576] == pytest.approx(2.25, rel=0.35), (algorithm, n)

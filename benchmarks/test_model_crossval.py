@@ -1,0 +1,84 @@
+"""Experiment XV — cross-validation of the analytic model against the DES.
+
+The paper-scale figures come from the analytic evaluator; this ablation
+checks it against the full discrete-event simulation (real solvers, real
+messages, real RAPL counters) on configurations small enough to execute,
+plus the §2.1 traffic formulas against the simulator's message accounting.
+"""
+
+import pytest
+
+from repro.cluster.machine import marconi_a3
+from repro.cluster.placement import LoadShape, Placement, layout_for
+from repro.core.framework import _ime_solver, _scalapack_solver
+from repro.perfmodel.analytic import analytic_run
+from repro.perfmodel.calibration import (
+    DEFAULT_CALIBRATION,
+    IME_PROFILE,
+    SCALAPACK_PROFILE,
+)
+from repro.runtime.job import Job
+from repro.solvers.ime.costmodel import ImeCostModel
+from repro.workloads.generator import generate_system
+
+from .conftest import emit
+
+N = 192
+RANKS = 96  # 2 full Marconi nodes
+
+
+def _des(algorithm):
+    machine = marconi_a3()
+    placement = Placement(layout_for(RANKS, LoadShape.FULL, machine), machine)
+    profile = IME_PROFILE if algorithm == "ime" else SCALAPACK_PROFILE
+    job = Job(machine, placement, profile=profile)
+    system = generate_system(N, seed=2)
+    solver = _ime_solver if algorithm == "ime" else _scalapack_solver
+    result = job.run(lambda ctx, comm: solver(ctx, comm, system=system))
+    return result
+
+
+def test_model_crossvalidation(benchmark, results_dir):
+    machine = marconi_a3()
+    # The DES implements the raw message structure; the production
+    # calibration's scal_pivot_factor additionally models ScaLAPACK
+    # library software overheads that the DES does not simulate, so the
+    # structural cross-validation runs with that factor at 1.
+    structural = DEFAULT_CALIBRATION.__class__(scal_pivot_factor=1.0)
+    des = {alg: _des(alg) for alg in ("ime", "scalapack")}
+    analytic = benchmark(lambda: {
+        alg: analytic_run(alg, N, RANKS, LoadShape.FULL, machine,
+                          calib=structural)
+        for alg in ("ime", "scalapack")
+    })
+
+    lines = [f"configuration: n={N}, ranks={RANKS} (2 Marconi nodes, FULL)",
+             "(analytic evaluated with scal_pivot_factor=1: the structural "
+             "model, no library-overhead calibration)"]
+    for alg in ("ime", "scalapack"):
+        d, a = des[alg], analytic[alg]
+        t_ratio = a.duration / d.duration
+        e_ratio = a.total_energy_j / d.total_energy_j
+        lines += [
+            f"{alg:>10}: DES T={d.duration * 1e3:8.3f} ms  "
+            f"analytic T={a.duration * 1e3:8.3f} ms  ratio={t_ratio:5.2f}",
+            f"{'':>10}  DES E={d.total_energy_j:8.2f} J   "
+            f"analytic E={a.total_energy_j:8.2f} J   ratio={e_ratio:5.2f}",
+        ]
+        # Model-grade agreement between the two execution modes.
+        assert 0.5 <= t_ratio <= 2.0, (alg, t_ratio)
+        assert 0.5 <= e_ratio <= 2.0, (alg, e_ratio)
+
+    # §2.1 traffic formulas vs the simulator's message accounting (the DES
+    # uses tree collectives, the formulas count flat copies, so agreement
+    # is order-of-magnitude by design).
+    ime_traffic = des["ime"].traffic
+    m_formula = ImeCostModel.messages(N, RANKS)
+    lines += [
+        f"IMe messages: DES={ime_traffic['messages']}  "
+        f"formula M_IMeP={m_formula:.0f}",
+        f"IMe volume:   DES={ime_traffic['bytes']} B  "
+        f"formula V_IMeP={ImeCostModel.volume_floats(N, RANKS) * 8:.0f} B",
+    ]
+    assert 0.1 <= ime_traffic["messages"] / m_formula <= 10.0
+    emit(results_dir, "model_crossval", lines)

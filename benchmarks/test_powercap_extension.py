@@ -1,0 +1,63 @@
+"""Experiment PC — power capping (the paper's stated next phase, §6).
+
+"The next phase of this work could involve the application of power caps
+to restrict power consumption during execution, aiming to achieve more
+efficient computations and investigate the behaviour of IMe and ScaLAPACK
+under different power configurations."
+
+The RAPL power-cap model constrains each package's DVFS operating point;
+capping trades longer runtimes for lower power.  With cubic power scaling
+a moderate cap *reduces* total energy (power falls faster than time
+grows) until the idle floor dominates.
+"""
+
+from repro.cluster.machine import marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.experiments.runner import run_analytic
+
+from .conftest import emit
+
+N = 17280
+RANKS = 144
+CAPS = (None, 120.0, 100.0, 85.0, 70.0)  # watts per package (TDP = 150)
+
+
+def test_powercap_sweep(benchmark, results_dir):
+    machine = marconi_a3()
+
+    def sweep():
+        out = {}
+        for alg in ("ime", "scalapack"):
+            out[alg] = [
+                run_analytic(alg, N, RANKS, LoadShape.FULL, machine,
+                             power_cap_w=cap)
+                for cap in CAPS
+            ]
+        return out
+
+    data = benchmark(sweep)
+
+    lines = [f"n={N}, ranks={RANKS}, caps per package (TDP 150 W)",
+             f"{'algorithm':>10} {'cap W':>6} | {'T s':>8} {'E J':>10} "
+             f"{'P W':>8}"]
+    for alg, runs in data.items():
+        for cap, r in zip(CAPS, runs):
+            cap_str = "none" if cap is None else f"{cap:.0f}"
+            lines.append(
+                f"{alg:>10} {cap_str:>6} | {r.mean_duration:8.2f} "
+                f"{r.mean_total_j:10.0f} {r.mean_power_w:8.0f}"
+            )
+    emit(results_dir, "powercap_extension", lines)
+
+    for alg, runs in data.items():
+        durations = [r.mean_duration for r in runs]
+        powers = [r.mean_power_w for r in runs]
+        # Tighter caps stretch the runtime and lower the mean power.
+        assert durations == sorted(durations), alg
+        assert powers == sorted(powers, reverse=True), alg
+        # A moderate cap saves energy vs uncapped (race-to-idle loses to
+        # DVFS under cubic power scaling).
+        assert min(r.mean_total_j for r in runs[1:]) < runs[0].mean_total_j
+    # Both algorithms keep their relative energy order under caps.
+    for i, cap in enumerate(CAPS):
+        assert data["ime"][i].mean_total_j > data["scalapack"][i].mean_total_j

@@ -1,0 +1,53 @@
+"""Experiment S5.4 — regenerate the §5.4 summary comparison.
+
+Paper: §5.4 — total energy gap "a consistent gap of 50 % to 60 %, except
+for a few cases where the values are quite similar"; power gap "reduced
+margin of around 12 % to 18 %"; DRAM-power gap larger, peaking (~42 %) at
+144 ranks; §5.3 — the idle socket consumes 50–60 % less than the loaded
+one.
+"""
+
+from repro.cluster.machine import marconi_a3
+from repro.experiments.summary import full_grid, socket_asymmetry
+
+from .conftest import emit
+
+MACHINE = marconi_a3()
+
+
+def test_summary_comparison(benchmark, results_dir):
+    points = benchmark(lambda: full_grid(MACHINE))
+
+    lines = [f"{'n':>6} {'ranks':>5} | {'T_ime':>8} {'T_scal':>8} "
+             f"{'winner':>9} | {'E gap':>6} {'P gap':>6} {'DRAM P gap':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.n:>6} {p.ranks:>5} | {p.ime_duration:8.2f} "
+            f"{p.scal_duration:8.2f} {p.time_winner:>9} | "
+            f"{p.energy_gap * 100:5.1f}% {p.power_gap * 100:5.1f}% "
+            f"{p.dram_power_gap * 100:9.1f}%"
+        )
+    asym = socket_asymmetry("ime", 34560, 144, MACHINE)
+    lines.append(f"idle-socket energy reduction (one-socket deployment): "
+                 f"{asym * 100:.1f}%")
+    emit(results_dir, "summary_5_4", lines)
+
+    by_key = {(p.n, p.ranks): p for p in points}
+    # Energy: ScaLAPACK below IMe in every dense configuration, 50–60 %-ish.
+    for n in (25920, 34560):
+        assert 0.45 <= by_key[(n, 144)].energy_gap <= 0.62
+    # Power gap 12–18 % at dense deployments.
+    for n in (17280, 25920, 34560):
+        assert 0.11 <= by_key[(n, 144)].power_gap <= 0.19
+    # DRAM-power gap exceeds the total-power gap and peaks at 144 ranks.
+    for n in (17280, 34560):
+        p = by_key[(n, 144)]
+        assert p.dram_power_gap > p.power_gap
+        assert p.dram_power_gap >= 0.40
+        assert p.dram_power_gap > by_key[(n, 1296)].dram_power_gap
+    # Gap shrinks with more ranks / smaller matrices.
+    assert (by_key[(34560, 144)].energy_gap
+            > by_key[(17280, 576)].energy_gap
+            > by_key[(8640, 1296)].energy_gap)
+    # Idle socket 50–60 % below the loaded one.
+    assert 0.45 <= asym <= 0.70

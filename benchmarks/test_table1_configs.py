@@ -1,0 +1,42 @@
+"""Experiment T1 — regenerate Table 1 (test configurations).
+
+Paper: §5.1, Table 1 — "test configurations for nodes, ranks and sockets".
+"""
+
+from repro.experiments.configs import EvaluationGrid
+
+from .conftest import emit
+
+
+def test_table1_configurations(benchmark, results_dir):
+    rows = benchmark(lambda: EvaluationGrid().table1_rows())
+
+    lines = [f"{'Ranks':>6} {'Nodes':>6} {'Ranks/Node':>11} "
+             f"{'Sockets':>8} {'Ranks x Socket':>15}"]
+    for r in rows:
+        s0, s1 = r["ranks_per_socket"]
+        lines.append(
+            f"{r['ranks']:>6} {r['nodes']:>6} {r['ranks_per_node']:>11} "
+            f"{r['sockets']:>8} {f'{s0} {s1}':>15}"
+        )
+    emit(results_dir, "table1", lines)
+
+    # Pin the paper's rows.
+    expected = {
+        (144, "full"): (3, 48, 2, (24, 24)),
+        (144, "half-1socket"): (6, 24, 1, (24, 0)),
+        (144, "half-2sockets"): (6, 24, 2, (12, 12)),
+        (576, "full"): (12, 48, 2, (24, 24)),
+        (576, "half-1socket"): (24, 24, 1, (24, 0)),
+        (576, "half-2sockets"): (24, 24, 2, (12, 12)),
+        (1296, "full"): (27, 48, 2, (24, 24)),
+        (1296, "half-1socket"): (54, 24, 1, (24, 0)),
+        (1296, "half-2sockets"): (54, 24, 2, (12, 12)),
+    }
+    actual = {
+        (r["ranks"], r["shape"]):
+            (r["nodes"], r["ranks_per_node"], r["sockets"],
+             r["ranks_per_socket"])
+        for r in rows
+    }
+    assert actual == expected

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""IMe's integrated fault tolerance — the paper's §2 motivation.
+
+"Recently it was proved that IMe has a good integrated low-cost multiple
+fault tolerance, which is more efficient than the checkpoint/restart
+technique usually applied in Gaussian Elimination linear systems
+resolution."
+
+This demo
+
+1. augments the inhibition table with weighted checksum columns,
+2. destroys two columns (a failed rank's shard) in the middle of the
+   reduction,
+3. rebuilds them — and the matching auxiliary quantities h — from the
+   checksums alone, and finishes to the exact solution,
+4. compares the protection/recovery cost against a classical
+   checkpoint/restart scheme at the paper's matrix sizes.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.solvers.ime.fault import FaultTolerantTable, FtOverheadModel
+from repro.workloads.generator import generate_system
+
+
+def main() -> None:
+    n = 64
+    system = generate_system(n, seed=11)
+    table = FaultTolerantTable(system.a, system.b, n_checksums=2, seed=11)
+
+    half = n // 2
+    for _ in range(half):
+        table.reduce_level()
+    print(f"reduced {half}/{n} levels; checksum residual "
+          f"{table.checksum_residual():.2e}")
+
+    lost = [5, 40]
+    table.corrupt(lost)
+    print(f"rank failure simulated: columns {lost} and their h entries "
+          f"destroyed (now NaN)")
+
+    recovered = table.recover()
+    print(f"recovered columns {recovered} from the checksums; residual "
+          f"{table.checksum_residual():.2e}")
+
+    x = table.solve()
+    err = np.max(np.abs(x - np.linalg.solve(system.a, system.b)))
+    print(f"finished the reduction: max error vs LAPACK = {err:.2e}\n")
+
+    print("protection/recovery cost vs checkpoint/restart "
+          "(per factorization, modelled):")
+    print(f"{'n':>7} | {'IMe checksums':>14} {'checkpointing':>14} | "
+          f"{'IMe recovery':>13} {'ckpt recovery':>14}")
+    for size in (8640, 17280, 34560):
+        m = FtOverheadModel(n=size)
+        print(f"{size:>7} | {m.ime_checksum_overhead_seconds():13.3f}s "
+              f"{m.checkpoint_overhead_seconds():13.3f}s | "
+              f"{m.ime_recovery_seconds(2):12.4f}s "
+              f"{m.checkpoint_recovery_seconds():13.3f}s")
+
+    distributed_demo()
+
+
+def distributed_demo() -> None:
+    """Kill an MPI rank mid-solve and watch the survivors recover."""
+    from repro.cluster.machine import small_test_machine
+    from repro.cluster.placement import LoadShape, place_ranks
+    from repro.runtime.job import Job
+    from repro.solvers.ime.ft_parallel import FtOptions, ime_ft_parallel_program
+
+    n, ranks = 30, 5  # 4 data ranks + 1 checksum rank
+    system = generate_system(n, seed=21)
+    machine = small_test_machine(cores_per_socket=5)
+    placement = place_ranks(ranks, LoadShape.HALF_ONE_SOCKET, machine)
+    job = Job(machine, placement)
+    opts = FtOptions(n_checksums=8, fail_rank=2, fail_level=n // 2)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        out = yield from ime_ft_parallel_program(ctx, comm, system=sys_arg,
+                                                 options=opts)
+        return out
+
+    result = job.run(program)
+    x, report = result.rank_results[0]
+    err = np.max(np.abs(x - np.linalg.solve(system.a, system.b)))
+    print(f"\ndistributed run: rank {opts.fail_rank} killed at level "
+          f"{opts.fail_level} of {n}")
+    print(f"  victim's return value : {result.rank_results[opts.fail_rank]!r}")
+    print(f"  recovery report       : {report}")
+    print(f"  final solution error  : {err:.2e} "
+          f"(survivors finished on the shrunk communicator)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Power-capping study — the paper's stated next phase (§6).
+
+Applies RAPL package power caps to both solvers and sweeps the cap from
+TDP down to near the idle floor, reporting the runtime/energy trade-off.
+With cubic dynamic-power scaling, moderate caps *save* energy (power falls
+faster than runtime grows) until the per-node idle/spin floor starts to
+dominate the stretched runtime — the sweep locates the energy-optimal cap
+for each algorithm.
+
+Run:  python examples/powercap_study.py
+"""
+
+import numpy as np
+
+from repro.cluster.machine import marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.experiments.runner import run_analytic
+
+N = 25920
+RANKS = 144
+
+
+def main() -> None:
+    machine = marconi_a3()
+    caps = [None] + list(np.arange(140.0, 55.0, -10.0))
+    print(f"n={N}, ranks={RANKS} (Table 1 FULL row: 3 nodes x 48 ranks), "
+          f"package TDP = {machine.power.pkg_tdp_w:.0f} W\n")
+    print(f"{'cap W':>7} | {'T_IMe s':>8} {'E_IMe kJ':>9} | "
+          f"{'T_ScaL s':>8} {'E_ScaL kJ':>9}")
+    best = {}
+    for cap in caps:
+        row = []
+        for alg in ("ime", "scalapack"):
+            r = run_analytic(alg, N, RANKS, LoadShape.FULL, machine,
+                             power_cap_w=cap)
+            row.append(r)
+            key = (alg,)
+            if key not in best or r.mean_total_j < best[key][1]:
+                best[key] = (cap, r.mean_total_j)
+        cap_str = "none" if cap is None else f"{cap:.0f}"
+        print(f"{cap_str:>7} | {row[0].mean_duration:8.2f} "
+              f"{row[0].mean_total_j / 1e3:9.2f} | "
+              f"{row[1].mean_duration:8.2f} {row[1].mean_total_j / 1e3:9.2f}")
+    print()
+    for alg in ("ime", "scalapack"):
+        cap, energy = best[(alg,)]
+        cap_str = "uncapped" if cap is None else f"{cap:.0f} W"
+        print(f"energy-optimal cap for {alg:>9}: {cap_str} "
+              f"({energy / 1e3:.2f} kJ)")
+
+
+if __name__ == "__main__":
+    main()

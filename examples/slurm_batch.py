@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""From a Slurm batch script to a monitored energy measurement.
+
+The paper's jobs were submitted through Slurm with per-node/per-socket
+task directives (§5), and §5.3 doubts the socket directives were honoured.
+This demo parses a Table 1-style ``#SBATCH`` script, places the job under
+both binding hypotheses (STRICT = directives honoured; LEAKY = scheduler
+spreads tasks over both sockets anyway), runs the monitored solver, and
+prints the per-package energy signature that distinguishes them.
+
+Run:  python examples/slurm_batch.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.slurm import SocketBinding, parse_batch_script, submit
+from repro.core.framework import _ime_solver
+from repro.core.monitoring import monitored_program
+from repro.perfmodel.calibration import IME_PROFILE
+from repro.runtime.job import Job
+from repro.workloads.generator import generate_system
+
+BATCH_SCRIPT = """\
+#!/bin/bash
+#SBATCH --job-name=ime_energy
+#SBATCH --ntasks=8
+#SBATCH --ntasks-per-node=4
+#SBATCH --ntasks-per-socket=4
+#SBATCH --distribution=block
+srun ./ime_solver input.npz
+"""
+
+
+def main() -> None:
+    machine = small_test_machine(cores_per_socket=4)
+    directives = parse_batch_script(BATCH_SCRIPT)
+    print(f"directives: ntasks={directives.ntasks}, "
+          f"per-node={directives.ntasks_per_node}, "
+          f"per-socket={directives.ntasks_per_socket}")
+
+    system = generate_system(48, seed=5)
+    ref = np.linalg.solve(system.a, system.b)
+    profile = replace(IME_PROFILE, eff_flops_per_core=2.0e6)
+
+    for binding in (SocketBinding.STRICT, SocketBinding.LEAKY):
+        placement = submit(BATCH_SCRIPT, machine, binding=binding)
+        per_socket = [len(placement.ranks_on_socket(0, s)) for s in (0, 1)]
+        job = Job(machine, placement, profile=profile)
+        result = job.run(monitored_program(_ime_solver, system=system))
+        solution, measurement = result.rank_results[0]
+        assert np.allclose(solution, ref, atol=1e-8)
+        node = measurement.node(0)
+        pkg0 = node.domain_j("package-0")
+        pkg1 = node.domain_j("package-1")
+        print(f"\n{binding.value:>7} binding: node 0 tasks per socket "
+              f"{per_socket}")
+        print(f"  package-0 {pkg0:8.4f} J   package-1 {pkg1:8.4f} J   "
+              f"(pkg1 is {100 * (1 - pkg1 / pkg0):.1f}% below pkg0)")
+    print("\nSTRICT shows the §5.3 signature (the 'idle' socket still burns "
+          "its power floor);\nLEAKY — the paper's suspicion — would show "
+          "near-equal packages instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package (and no network), so PEP 660
+editable installs (`pip install -e .`) cannot build. `python setup.py develop`
+installs the same editable package through setuptools' legacy path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — reproduction of Montebugnoli & Ciampolini, SC-W 2023.
+
+*Energy consumption comparison of parallel linear systems solver
+algorithms on HPC infrastructure* (DOI 10.1145/3624062.3624266), rebuilt
+as a fully simulated stack: a discrete-event MPI runtime, a Marconi-A3
+cluster/power model, RAPL MSRs with a PAPI-like API, the IMe and
+ScaLAPACK-style solvers, the paper's white-box monitoring framework, and
+an analytic mode regenerating every figure at paper scale.
+
+Typical entry points:
+
+>>> from repro import generate_system, ime_solve
+>>> s = generate_system(64, seed=7)
+>>> x = ime_solve(s.a, s.b)
+
+>>> from repro import ExperimentSpec, MonitoringFramework, LoadShape
+>>> from repro import marconi_a3, run_analytic
+
+See README.md for the full tour and EXPERIMENTS.md for the reproduced
+results.
+"""
+
+__version__ = "1.0.0"
+
+__paper__ = {
+    "title": ("Energy consumption comparison of parallel linear systems "
+              "solver algorithms on HPC infrastructure"),
+    "authors": ("Sofia Montebugnoli", "Anna Ciampolini"),
+    "venue": "SC-W 2023 (Workshops of SC23)",
+    "doi": "10.1145/3624062.3624266",
+}
+
+from repro.cluster.machine import MachineSpec, marconi_a3, small_test_machine
+from repro.cluster.placement import Layout, LoadShape, Placement, place_ranks
+from repro.core.framework import (
+    ExperimentResult,
+    ExperimentSpec,
+    MonitoringFramework,
+)
+from repro.core.monitoring import WhiteBoxMonitor, monitored_program
+from repro.experiments.runner import run_analytic
+from repro.runtime.context import ComputeProfile, RankContext
+from repro.runtime.job import Job, JobResult
+from repro.solvers.dense import gaussian_elimination, relative_residual
+from repro.solvers.ime.parallel import ime_parallel_program
+from repro.solvers.ime.sequential import ime_solve
+from repro.solvers.scalapack.pdgesv import ScalapackOptions, pdgesv_program
+from repro.workloads.generator import (
+    PAPER_MATRIX_SIZES,
+    LinearSystem,
+    generate_system,
+)
+from repro.workloads.matrixio import load_system, save_system
+
+__all__ = [
+    "__version__",
+    "__paper__",
+    "MachineSpec",
+    "marconi_a3",
+    "small_test_machine",
+    "Layout",
+    "LoadShape",
+    "Placement",
+    "place_ranks",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "MonitoringFramework",
+    "WhiteBoxMonitor",
+    "monitored_program",
+    "run_analytic",
+    "ComputeProfile",
+    "RankContext",
+    "Job",
+    "JobResult",
+    "gaussian_elimination",
+    "relative_residual",
+    "ime_parallel_program",
+    "ime_solve",
+    "ScalapackOptions",
+    "pdgesv_program",
+    "PAPER_MATRIX_SIZES",
+    "LinearSystem",
+    "generate_system",
+    "load_system",
+    "save_system",
+]

@@ -1,0 +1,220 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+    repro table1                      # §5.1 Table 1
+    repro figure 5                    # a Figure 3–7 data series
+    repro summary                     # the §5.4 comparison grid
+    repro compare -n 17280 -r 576     # one configuration, both algorithms
+    repro powercap -n 25920 -r 144 --caps 120 100 80
+    repro solve -n 64 -r 8            # run a monitored DES job (small n)
+
+All paper-scale commands use the analytic mode with ten seeded
+repetitions; ``solve`` runs the full discrete-event pipeline with the
+white-box monitor and prints the per-node PAPI readings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.cluster.machine import marconi_a3, small_test_machine
+from repro.cluster.placement import LoadShape
+
+_SHAPES = {s.value: s for s in LoadShape}
+
+
+def _shape(value: str) -> LoadShape:
+    try:
+        return _SHAPES[value]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown shape {value!r}; choose from {sorted(_SHAPES)}"
+        )
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments.configs import EvaluationGrid
+
+    print(f"{'Ranks':>6} {'Nodes':>6} {'Ranks/Node':>11} {'Sockets':>8} "
+          f"{'Ranks x Socket':>15}")
+    for r in EvaluationGrid().table1_rows():
+        s0, s1 = r["ranks_per_socket"]
+        print(f"{r['ranks']:>6} {r['nodes']:>6} {r['ranks_per_node']:>11} "
+              f"{r['sockets']:>8} {f'{s0} {s1}':>15}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import figures
+    from repro.experiments.export import write_figure_csv
+
+    builders = {3: figures.figure3, 4: figures.figure4, 5: figures.figure5,
+                6: figures.figure6, 7: figures.figure7}
+    data = builders[args.number]()
+    if args.csv:
+        path = write_figure_csv(data, args.csv)
+        print(f"wrote {path}")
+        return 0
+    for algorithm, outer in data.items():
+        for key, series in outer.items():
+            for x, value in series.items():
+                if isinstance(value, dict):
+                    cells = "  ".join(f"{k}={v:.4g}" for k, v in value.items())
+                else:
+                    cells = f"energy_j={value:.4g}"
+                print(f"figure{args.number} {algorithm:>10} {key}: "
+                      f"x={x:>6}  {cells}")
+    return 0
+
+
+def cmd_summary(args) -> int:
+    from repro.experiments.summary import full_grid
+
+    print(f"{'n':>6} {'ranks':>5} | {'T_ime':>8} {'T_scal':>8} {'winner':>9} "
+          f"| {'E gap':>6} {'P gap':>6} {'DRAM P gap':>10}")
+    for p in full_grid():
+        print(f"{p.n:>6} {p.ranks:>5} | {p.ime_duration:8.2f} "
+              f"{p.scal_duration:8.2f} {p.time_winner:>9} | "
+              f"{p.energy_gap * 100:5.1f}% {p.power_gap * 100:5.1f}% "
+              f"{p.dram_power_gap * 100:9.1f}%")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.experiments.runner import run_analytic
+    from repro.experiments.summary import gap
+
+    machine = marconi_a3()
+    results = {
+        alg: run_analytic(alg, args.n, args.ranks, args.shape, machine,
+                          power_cap_w=args.cap)
+        for alg in ("ime", "scalapack")
+    }
+    for alg, r in results.items():
+        print(f"{alg:>10}: T={r.mean_duration:9.3f} s  "
+              f"E={r.mean_total_j:12.1f} J  P={r.mean_power_w:8.1f} W  "
+              f"DRAM P={r.dram_power_w:7.1f} W")
+    i, s = results["ime"], results["scalapack"]
+    print(f"{'gaps':>10}: energy {gap(i.mean_total_j, s.mean_total_j)*100:.1f}%  "
+          f"power {gap(i.mean_power_w, s.mean_power_w)*100:.1f}%  "
+          f"faster: {'IMe' if i.mean_duration < s.mean_duration else 'ScaLAPACK'}")
+    return 0
+
+
+def cmd_powercap(args) -> int:
+    from repro.experiments.runner import run_analytic
+
+    machine = marconi_a3()
+    print(f"{'algorithm':>10} {'cap W':>7} | {'T s':>8} {'E J':>12} {'P W':>8}")
+    for alg in ("ime", "scalapack"):
+        for cap in [None] + list(args.caps):
+            r = run_analytic(alg, args.n, args.ranks, args.shape, machine,
+                             power_cap_w=cap)
+            cap_str = "none" if cap is None else f"{cap:.0f}"
+            print(f"{alg:>10} {cap_str:>7} | {r.mean_duration:8.2f} "
+                  f"{r.mean_total_j:12.1f} {r.mean_power_w:8.1f}")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    import numpy as np
+
+    from repro.core.framework import ExperimentSpec, MonitoringFramework
+    from repro.perfmodel.calibration import profile_for
+    from repro.workloads.generator import generate_system
+
+    if args.n > 600:
+        print("solve runs real numerics; use n <= 600 "
+              "(paper-scale series come from `compare`/`figure`)",
+              file=sys.stderr)
+        return 2
+    machine = small_test_machine(
+        cores_per_socket=max(1, args.ranks // (2 * max(1, args.nodes)))
+    )
+    # Slow the virtual clock so tiny systems span many counter ticks.
+    profile = replace(profile_for(args.algorithm), eff_flops_per_core=2.0e6)
+    spec = ExperimentSpec(
+        algorithm=args.algorithm,
+        system=generate_system(args.n, seed=args.seed),
+        ranks=args.ranks,
+        shape=LoadShape.FULL,
+        repetitions=args.repetitions,
+        machine=machine,
+        profile=profile,
+    )
+    result = MonitoringFramework(output_dir=args.output).run_experiment(spec)
+    run = result.runs[0]
+    residual = float(np.max(np.abs(
+        spec.system.a @ run.solution - spec.system.b
+    )))
+    print(f"{args.algorithm} n={args.n} on {args.ranks} simulated ranks "
+          f"({run.measured.n_nodes} nodes), {spec.repetitions} repetitions")
+    print(f"residual: {residual:.3e}")
+    print(f"mean duration: {result.mean_duration * 1e3:.3f} ms (virtual)  "
+          f"mean energy: {result.mean_total_j:.3f} J  "
+          f"mean power: {result.mean_power_w:.1f} W")
+    for node in run.measured.nodes:
+        print(f"  node {node.node_id}: {node.total_j:.3f} J "
+              f"(pkg {node.package_j:.3f} J, dram {node.dram_j:.3f} J)")
+    if args.output:
+        print(f"per-node result files written under {args.output}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Energy consumption comparison of "
+                     "parallel linear systems solver algorithms on HPC "
+                     "infrastructure' (SC-W 2023)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("figure", help="print a Figure 3-7 data series")
+    p.add_argument("number", type=int, choices=(3, 4, 5, 6, 7))
+    p.add_argument("--csv", default=None,
+                   help="write the series to a CSV file instead of stdout")
+    p.set_defaults(fn=cmd_figure)
+
+    sub.add_parser("summary", help="print the §5.4 comparison grid") \
+        .set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("compare", help="compare both solvers at one point")
+    p.add_argument("-n", type=int, required=True, help="matrix dimension")
+    p.add_argument("-r", "--ranks", type=int, required=True)
+    p.add_argument("--shape", type=_shape, default=LoadShape.FULL)
+    p.add_argument("--cap", type=float, default=None,
+                   help="package power cap in watts")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("powercap", help="power-cap sweep (§6 extension)")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("-r", "--ranks", type=int, required=True)
+    p.add_argument("--shape", type=_shape, default=LoadShape.FULL)
+    p.add_argument("--caps", type=float, nargs="+", required=True)
+    p.set_defaults(fn=cmd_powercap)
+
+    p = sub.add_parser("solve", help="run a monitored DES job (small n)")
+    p.add_argument("-n", type=int, default=64)
+    p.add_argument("-r", "--ranks", type=int, default=8)
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--algorithm", choices=("ime", "scalapack"),
+                   default="ime")
+    p.add_argument("--output", default=None,
+                   help="directory for the per-node result files")
+    p.set_defaults(fn=cmd_solve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

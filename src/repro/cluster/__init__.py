@@ -1,0 +1,35 @@
+"""Simulated HPC cluster substrate.
+
+Models the hardware the paper ran on: nodes with two CPU packages (sockets)
+of 24 cores each plus two DRAM domains, an OmniPath-class interconnect, and a
+Slurm-like placement layer that maps MPI ranks onto nodes/sockets/cores
+according to the deployment shapes of the paper's Table 1 (full load,
+half load on one socket, half load across two sockets).
+"""
+
+from repro.cluster.topology import Core, Socket, Node, Cluster
+from repro.cluster.machine import MachineSpec, marconi_a3, small_test_machine
+from repro.cluster.placement import (
+    LoadShape,
+    Layout,
+    Placement,
+    place_ranks,
+    table1_layouts,
+)
+from repro.cluster.network import ClusterFabric
+
+__all__ = [
+    "Core",
+    "Socket",
+    "Node",
+    "Cluster",
+    "MachineSpec",
+    "marconi_a3",
+    "small_test_machine",
+    "LoadShape",
+    "Layout",
+    "Placement",
+    "place_ranks",
+    "table1_layouts",
+    "ClusterFabric",
+]

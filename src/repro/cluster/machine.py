@@ -1,0 +1,95 @@
+"""Machine presets: hardware specifications of the simulated clusters.
+
+The primary preset reproduces CINECA **Marconi A3** as described in §5 of the
+paper: 3188 nodes, each with 2 × 24-core Intel Xeon 8160 (Skylake) at
+2.10 GHz and 192 GB DDR4, on an Intel OmniPath (100 Gbit/s) interconnect,
+batch-scheduled with Slurm so that "the collected energy values concern only
+the processors directly involved in the computation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.topology import Cluster
+from repro.energy.power_model import PowerParams
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Interconnect coefficients consumed by :class:`~repro.cluster.network.ClusterFabric`."""
+
+    inter_latency: float = 1.5e-6       # OmniPath MPI latency
+    inter_bandwidth: float = 12.5e9     # 100 Gbit/s per node link
+    intra_latency: float = 4.0e-7       # shared-memory transport
+    intra_bandwidth: float = 30.0e9
+    cpu_overhead: float = 4.0e-7        # per-message CPU cost at each endpoint
+    cpu_overhead_per_byte: float = 2.0e-11
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything needed to instantiate a simulated cluster."""
+
+    name: str
+    sockets_per_node: int
+    cores_per_socket: int
+    core_freq_hz: float
+    dram_gb_per_node: float
+    power: PowerParams = field(default_factory=PowerParams)
+    network: NetworkParams = field(default_factory=NetworkParams)
+    #: peak double-precision flop/s of one core (vector units at nominal freq)
+    core_peak_flops: float = 67.2e9
+    #: single-node peak as advertised (Marconi A3: 3.2 TFlop/s)
+    node_peak_flops: float = 3.2e12
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket
+
+    def build_cluster(self, n_nodes: int) -> Cluster:
+        return Cluster(
+            n_nodes=n_nodes,
+            sockets_per_node=self.sockets_per_node,
+            cores_per_socket=self.cores_per_socket,
+        )
+
+    def with_power(self, **overrides) -> "MachineSpec":
+        return replace(self, power=self.power.with_overrides(**overrides))
+
+
+def marconi_a3() -> MachineSpec:
+    """CINECA Marconi A3 (SkyLake partition), per §5 and [20]."""
+    return MachineSpec(
+        name="marconi-a3",
+        sockets_per_node=2,
+        cores_per_socket=24,
+        core_freq_hz=2.1e9,
+        dram_gb_per_node=192.0,
+        power=PowerParams(
+            pkg_idle_w=45.0,
+            core_base_w=1.05,
+            core_flops_w=1.45,
+            core_mem_w=0.55,
+            dram_idle_w=8.0,
+            dram_energy_per_byte=2.0e-10,
+            nominal_freq_hz=2.1e9,
+            pkg_tdp_w=150.0,
+        ),
+        network=NetworkParams(),
+        core_peak_flops=67.2e9,   # 2.1 GHz × 32 DP flops/cycle (AVX-512)
+        node_peak_flops=3.2e12,
+    )
+
+
+def small_test_machine(sockets_per_node: int = 2, cores_per_socket: int = 2,
+                       **power_overrides) -> MachineSpec:
+    """A tiny machine with Marconi-like coefficients for fast tests."""
+    spec = marconi_a3()
+    return replace(
+        spec,
+        name="test-machine",
+        sockets_per_node=sockets_per_node,
+        cores_per_socket=cores_per_socket,
+        power=spec.power.with_overrides(**power_overrides),
+    )

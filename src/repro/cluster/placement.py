@@ -1,0 +1,158 @@
+"""Slurm-like rank placement: the deployment shapes of the paper's Table 1.
+
+The paper evaluates three load shapes per rank count:
+
+* **full load** — 48 ranks/node, 24 per socket (both sockets full);
+* **half load, one socket** — 24 ranks/node, all on socket 0 (socket 1 idle);
+* **half load, two sockets** — 24 ranks/node, 12 per socket.
+
+``place_ranks`` turns a :class:`Layout` into an explicit rank → (node,
+socket, core) map; the layouts for ranks ∈ {144, 576, 1296} reproduce
+Table 1 row by row (``table1_layouts``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.topology import Core
+
+
+class LoadShape(enum.Enum):
+    """The three processor-load shapes of Table 1 / Figure 3."""
+
+    FULL = "full"                      # c ranks/socket on both sockets
+    HALF_ONE_SOCKET = "half-1socket"   # c ranks on socket 0, socket 1 idle
+    HALF_TWO_SOCKETS = "half-2sockets" # c/2 ranks on each socket
+
+    def ranks_per_socket(self, cores_per_socket: int) -> tuple[int, int]:
+        if self is LoadShape.FULL:
+            return (cores_per_socket, cores_per_socket)
+        if self is LoadShape.HALF_ONE_SOCKET:
+            return (cores_per_socket, 0)
+        if cores_per_socket % 2:
+            raise ValueError(
+                f"{self} needs an even socket size, got {cores_per_socket}"
+            )
+        return (cores_per_socket // 2, cores_per_socket // 2)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """One Table 1 row: how many nodes, and the per-socket rank counts."""
+
+    ranks: int
+    nodes: int
+    ranks_per_node: int
+    ranks_per_socket: tuple[int, int]
+    shape: LoadShape
+
+    def __post_init__(self):
+        if self.ranks != self.nodes * self.ranks_per_node:
+            raise ValueError(
+                f"{self.ranks} ranks != {self.nodes} nodes × "
+                f"{self.ranks_per_node} ranks/node"
+            )
+        if sum(self.ranks_per_socket) != self.ranks_per_node:
+            raise ValueError(
+                f"socket split {self.ranks_per_socket} != "
+                f"{self.ranks_per_node} ranks/node"
+            )
+
+    @property
+    def sockets_used(self) -> int:
+        return sum(1 for r in self.ranks_per_socket if r > 0)
+
+    def describe(self) -> str:
+        return (f"{self.ranks} ranks on {self.nodes} nodes "
+                f"({self.ranks_per_node}/node, "
+                f"{self.ranks_per_socket[0]}+{self.ranks_per_socket[1]} per socket)")
+
+
+def layout_for(ranks: int, shape: LoadShape, machine: MachineSpec) -> Layout:
+    """Build the Table 1 layout for a rank count and load shape."""
+    per_socket = shape.ranks_per_socket(machine.cores_per_socket)
+    ranks_per_node = sum(per_socket)
+    if ranks % ranks_per_node:
+        raise ValueError(
+            f"{ranks} ranks not divisible by {ranks_per_node} ranks/node"
+        )
+    return Layout(
+        ranks=ranks,
+        nodes=ranks // ranks_per_node,
+        ranks_per_node=ranks_per_node,
+        ranks_per_socket=per_socket,
+        shape=shape,
+    )
+
+
+#: The rank counts of Table 1 (square numbers, as IMe requires).
+TABLE1_RANKS = (144, 576, 1296)
+
+
+def table1_layouts(machine: MachineSpec,
+                   ranks_list: tuple[int, ...] = TABLE1_RANKS) -> list[Layout]:
+    """All nine Table 1 configurations (3 rank counts × 3 load shapes)."""
+    return [
+        layout_for(ranks, shape, machine)
+        for ranks in ranks_list
+        for shape in (LoadShape.FULL, LoadShape.HALF_ONE_SOCKET,
+                      LoadShape.HALF_TWO_SOCKETS)
+    ]
+
+
+class Placement:
+    """Explicit rank → core map for one layout on one machine."""
+
+    def __init__(self, layout: Layout, machine: MachineSpec):
+        self.layout = layout
+        self.machine = machine
+        self._assignments: list[Core] = []
+        per_socket = layout.ranks_per_socket
+        if max(per_socket) > machine.cores_per_socket:
+            raise ValueError(
+                f"socket split {per_socket} exceeds "
+                f"{machine.cores_per_socket} cores/socket"
+            )
+        if len(per_socket) > machine.sockets_per_node:
+            raise ValueError("layout uses more sockets than the machine has")
+        for node_id in range(layout.nodes):
+            for socket_id, count in enumerate(per_socket):
+                for core_index in range(count):
+                    self._assignments.append(
+                        Core(node_id=node_id, socket_id=socket_id,
+                             index=core_index)
+                    )
+        assert len(self._assignments) == layout.ranks
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self._assignments)
+
+    def core_of(self, rank: int) -> Core:
+        return self._assignments[rank]
+
+    def node_of(self, rank: int) -> int:
+        return self._assignments[rank].node_id
+
+    def socket_of(self, rank: int) -> int:
+        return self._assignments[rank].socket_id
+
+    def ranks_on_node(self, node_id: int) -> list[int]:
+        return [r for r, core in enumerate(self._assignments)
+                if core.node_id == node_id]
+
+    def ranks_on_socket(self, node_id: int, socket_id: int) -> list[int]:
+        return [r for r, core in enumerate(self._assignments)
+                if core.node_id == node_id and core.socket_id == socket_id]
+
+    def active_sockets(self, node_id: int) -> list[int]:
+        return sorted({core.socket_id for core in self._assignments
+                       if core.node_id == node_id})
+
+
+def place_ranks(ranks: int, shape: LoadShape, machine: MachineSpec) -> Placement:
+    """Convenience: layout + placement in one step."""
+    return Placement(layout_for(ranks, shape, machine), machine)

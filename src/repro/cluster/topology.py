@@ -1,0 +1,115 @@
+"""Structural model of a compute cluster: cores, sockets, nodes.
+
+The topology is purely structural; energy accounting is attached per socket
+and per DRAM domain by :mod:`repro.energy` when a machine is instantiated
+(see :class:`repro.energy.msr.MsrDevice`).  Identifiers follow the paper's
+vocabulary: each node has *package 0 / package 1* (the two sockets) and
+*DRAM 0 / DRAM 1* (one memory domain per socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Core:
+    """One physical core, addressable as (node, socket, index-in-socket)."""
+
+    node_id: int
+    socket_id: int
+    index: int  # index within the socket
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.node_id, self.socket_id, self.index)
+
+    def __repr__(self) -> str:
+        return f"<Core n{self.node_id}.s{self.socket_id}.c{self.index}>"
+
+
+@dataclass
+class Socket:
+    """A CPU package: the granularity of RAPL PKG/DRAM energy domains."""
+
+    node_id: int
+    socket_id: int
+    cores: list[Core] = field(default_factory=list)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def __repr__(self) -> str:
+        return f"<Socket n{self.node_id}.s{self.socket_id} cores={self.n_cores}>"
+
+
+@dataclass
+class Node:
+    """A compute node: sockets plus their DRAM domains."""
+
+    node_id: int
+    sockets: list[Socket] = field(default_factory=list)
+
+    @property
+    def n_sockets(self) -> int:
+        return len(self.sockets)
+
+    @property
+    def n_cores(self) -> int:
+        return sum(s.n_cores for s in self.sockets)
+
+    def all_cores(self) -> list[Core]:
+        return [core for socket in self.sockets for core in socket.cores]
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id} sockets={self.n_sockets} cores={self.n_cores}>"
+
+
+class Cluster:
+    """A collection of identical nodes."""
+
+    def __init__(self, n_nodes: int, sockets_per_node: int, cores_per_socket: int):
+        if n_nodes <= 0 or sockets_per_node <= 0 or cores_per_socket <= 0:
+            raise ValueError(
+                "cluster dimensions must be positive: "
+                f"nodes={n_nodes}, sockets={sockets_per_node}, "
+                f"cores={cores_per_socket}"
+            )
+        self.sockets_per_node = sockets_per_node
+        self.cores_per_socket = cores_per_socket
+        self.nodes: list[Node] = []
+        for node_id in range(n_nodes):
+            sockets = [
+                Socket(
+                    node_id=node_id,
+                    socket_id=sid,
+                    cores=[
+                        Core(node_id=node_id, socket_id=sid, index=c)
+                        for c in range(cores_per_socket)
+                    ],
+                )
+                for sid in range(sockets_per_node)
+            ]
+            self.nodes.append(Node(node_id=node_id, sockets=sockets))
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster nodes={self.n_nodes} "
+            f"({self.sockets_per_node}x{self.cores_per_socket} cores/node)>"
+        )

@@ -1,0 +1,69 @@
+"""Black-box monitoring: measure a job without touching its rank programs.
+
+§4 requires the monitoring solution to "accommodate both white-box and
+black box approaches, introducing only minimal modifications".  The
+white-box monitor (:mod:`repro.core.monitoring`) injects PAPI calls into
+designated ranks; the black-box session instead observes each node *from
+outside* the application — PAPI counters are started before the job's
+first event and read after its last, with zero changes to (and zero
+synchronization with) the solver.
+
+The trade-off is scope: the black-box window covers the entire allocation
+(including startup and teardown), so its readings are an upper bound on
+any white-box region inside the run — which the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.events import monitored_events
+from repro.core.records import NodeMeasurement, RunMeasurement
+from repro.runtime.job import Job, JobResult
+
+#: sentinel for "no MPI rank": the observer lives outside the application
+EXTERNAL_OBSERVER = -1
+
+
+class BlackBoxSession:
+    """Whole-allocation, application-oblivious energy measurement."""
+
+    def __init__(self, job: Job, events: list[str] | None = None):
+        self.job = job
+        self.events = events
+        self._eventsets = None
+
+    def _start_all(self) -> None:
+        self._eventsets = []
+        for papi, node in zip(self.job.papi_instances, self.job.rapl_nodes):
+            papi.library_init()
+            papi.thread_init()
+            es = papi.create_eventset()
+            names = self.events or monitored_events(node.n_sockets)
+            papi.add_named_events(es, names)
+            t0 = papi.start(es)
+            self._eventsets.append((papi, node, es, t0))
+
+    def _stop_all(self) -> RunMeasurement:
+        nodes = []
+        for papi, node, es, t0 in self._eventsets:
+            values, t_stop = papi.stop(es)
+            names = es.event_names()
+            papi.destroy_eventset(es)
+            nodes.append(NodeMeasurement(
+                node_id=node.node_id,
+                monitor_world_rank=EXTERNAL_OBSERVER,
+                t_start=t0,
+                t_stop=t_stop,
+                values_uj=dict(zip(names, values)),
+                phase="blackbox",
+            ))
+        self._eventsets = None
+        return RunMeasurement(nodes=tuple(nodes))
+
+    def run(self, program: Callable, **kwargs) -> tuple[JobResult, RunMeasurement]:
+        """Run the unmodified program under external observation."""
+        self._start_all()
+        result = self.job.run(program, **kwargs)
+        measurement = self._stop_all()
+        return result, measurement

@@ -1,0 +1,125 @@
+"""The white-box monitor: per-node monitoring ranks with barrier protocol.
+
+Implements the execution flow of the paper's Figure 2:
+
+1. after ``MPI_Init``, every rank joins a per-node communicator via
+   ``MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)``;
+2. the rank with the **highest rank value** in each node communicator is
+   designated the monitoring rank;
+3. a node-communicator barrier aligns the node, then the monitoring rank
+   calls ``start_monitoring()`` (PAPI library init, thread init, event-set
+   creation, addition of all powercap events, ``PAPI_start_AND_time``);
+4. a COMM_WORLD barrier aligns everyone for the solver execution phase;
+5. every rank runs its part of the linear-system solver;
+6. a node barrier makes the monitoring rank wait for its node's processing
+   ranks, then it calls ``end_monitoring()`` (``PAPI_stop_AND_time``,
+   ``file_management``-ready record, ``PAPI_term``);
+7. a final COMM_WORLD barrier precedes ``MPI_Finalize``.
+
+The synchronization barriers are the accuracy/overhead compromise the
+paper discusses: they guarantee the counters bracket exactly the monitored
+region, at the price of some added wall-clock time (measured by the
+monitoring-overhead benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.core.events import monitored_events
+from repro.core.records import NodeMeasurement, RunMeasurement
+from repro.simmpi.comm import COMM_TYPE_SHARED
+
+
+class WhiteBoxMonitor:
+    """Per-rank handle on the monitoring protocol."""
+
+    def __init__(self, ctx, events: list[str] | None = None):
+        self.ctx = ctx
+        self.events = events
+        self.node_comm = None
+        self.world = None
+        self.is_monitor = False
+        self._eventset = None
+        self._papi = None
+        self._t_start = None
+
+    # ------------------------------------------------------------- protocol
+    def attach(self, comm):
+        """Split the node communicator and designate the monitoring rank."""
+        self.world = comm
+        self.node_comm = yield from comm.split_type(COMM_TYPE_SHARED)
+        # "the rank with the highest value on each node" (§4)
+        self.is_monitor = self.node_comm.rank == self.node_comm.size - 1
+        return self.node_comm
+
+    def start_monitoring(self):
+        """Node barrier, then the monitoring rank starts PAPI counting."""
+        if self.node_comm is None:
+            raise RuntimeError("attach() must run before start_monitoring()")
+        yield from self.node_comm.barrier()
+        if self.is_monitor:
+            papi = self.ctx.papi()
+            papi.library_init()
+            papi.thread_init()
+            eventset = papi.create_eventset()
+            names = self.events or monitored_events(
+                self.ctx.rapl_node.n_sockets
+            )
+            papi.add_named_events(eventset, names)
+            self._t_start = papi.start(eventset)  # PAPI_start_AND_time
+            self._papi = papi
+            self._eventset = eventset
+        # General execution synchronization before the solver phase.
+        yield from self.world.barrier()
+
+    def stop_monitoring(self, phase: str = "general"):
+        """Node barrier, monitoring rank stops PAPI; returns its record.
+
+        Non-monitoring ranks return ``None``.  The monitor can be started
+        and stopped repeatedly to bracket multiple regions; ``phase``
+        labels the region just closed.
+        """
+        if self.node_comm is None:
+            raise RuntimeError("attach() must run before stop_monitoring()")
+        yield from self.node_comm.barrier()
+        measurement = None
+        if self.is_monitor:
+            values, t_stop = self._papi.stop(self._eventset)  # stop_AND_time
+            names = self._eventset.event_names()
+            self._papi.destroy_eventset(self._eventset)       # PAPI_term
+            measurement = NodeMeasurement(
+                node_id=self.ctx.node_id,
+                monitor_world_rank=self.ctx.rank,
+                t_start=self._t_start,
+                t_stop=t_stop,
+                values_uj=dict(zip(names, values)),
+                phase=phase,
+            )
+            self._eventset = None
+        yield from self.world.barrier()
+        return measurement
+
+
+def monitored_program(solver_program, events: list[str] | None = None,
+                      **solver_kwargs):
+    """Wrap a solver rank program with the full monitoring protocol.
+
+    Returns a rank program whose world rank 0 returns
+    ``(solver_result, RunMeasurement)``; other ranks return
+    ``(solver_result, None)``.
+    """
+
+    def program(ctx, comm, **kwargs):
+        merged = {**solver_kwargs, **kwargs}
+        monitor = WhiteBoxMonitor(ctx, events=events)
+        yield from monitor.attach(comm)
+        yield from monitor.start_monitoring()
+        result = yield from solver_program(ctx, comm, **merged)
+        node_measurement = yield from monitor.stop_monitoring()
+        # The testing framework collects every node's record at rank 0.
+        gathered = yield from comm.gather(node_measurement, root=0)
+        if comm.rank == 0:
+            nodes = tuple(m for m in gathered if m is not None)
+            return result, RunMeasurement(nodes=nodes)
+        return result, None
+
+    return program

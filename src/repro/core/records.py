@@ -1,0 +1,171 @@
+"""Measurement records and human-readable result files.
+
+§4: the framework "automatically collects and stores results in a
+human-readable format for subsequent review and analysis", and
+``end_monitoring`` "creates one file for each processor with
+file_management(); in each file are saved the values of PAPI event
+counters for the processor in which the node has run".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.events import domain_of
+
+
+@dataclass(frozen=True)
+class NodeMeasurement:
+    """One monitoring rank's readings for its node."""
+
+    node_id: int
+    monitor_world_rank: int
+    t_start: float
+    t_stop: float
+    #: PAPI event name -> accumulated µJ between start and stop
+    values_uj: dict[str, int]
+    #: which monitored region this covers (§5.1: the paper separates the
+    #: "general execution" from the computation phase)
+    phase: str = "general"
+
+    @property
+    def duration(self) -> float:
+        return self.t_stop - self.t_start
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.values_uj.values()) * 1e-6
+
+    def domain_j(self, domain: str) -> float:
+        """Joules for one RAPL domain name (e.g. ``package-0``)."""
+        return sum(
+            uj for name, uj in self.values_uj.items()
+            if domain_of(name) == domain
+        ) * 1e-6
+
+    @property
+    def package_j(self) -> float:
+        return sum(
+            uj for name, uj in self.values_uj.items()
+            if domain_of(name).startswith("package")
+        ) * 1e-6
+
+    @property
+    def dram_j(self) -> float:
+        return sum(
+            uj for name, uj in self.values_uj.items()
+            if domain_of(name).startswith("dram")
+        ) * 1e-6
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.total_j / self.duration if self.duration > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """All node measurements of one monitored run, gathered at rank 0."""
+
+    nodes: tuple[NodeMeasurement, ...]
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise ValueError("a run measurement needs at least one node")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def duration(self) -> float:
+        """Monitored duration: the longest node window."""
+        return max(m.duration for m in self.nodes)
+
+    @property
+    def total_j(self) -> float:
+        return sum(m.total_j for m in self.nodes)
+
+    @property
+    def package_j(self) -> float:
+        return sum(m.package_j for m in self.nodes)
+
+    @property
+    def dram_j(self) -> float:
+        return sum(m.dram_j for m in self.nodes)
+
+    def domain_j(self, domain: str) -> float:
+        return sum(m.domain_j(domain) for m in self.nodes)
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.total_j / self.duration if self.duration > 0 else 0.0
+
+    def node(self, node_id: int) -> NodeMeasurement:
+        for m in self.nodes:
+            if m.node_id == node_id:
+                return m
+        raise KeyError(f"no measurement for node {node_id}")
+
+
+def file_management(measurement: RunMeasurement, directory: str | Path,
+                    label: str = "run") -> list[Path]:
+    """Write one human-readable file per node (the paper's file layout).
+
+    Returns the written paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for node in measurement.nodes:
+        path = directory / f"{label}_node{node.node_id}.txt"
+        lines = [
+            f"# PAPI powercap counters — node {node.node_id}",
+            f"# monitoring rank (world): {node.monitor_world_rank}",
+            f"# phase: {node.phase}",
+            f"t_start_s      {node.t_start!r}",
+            f"t_stop_s       {node.t_stop!r}",
+            f"duration_s     {node.duration!r}",
+        ]
+        for name, uj in node.values_uj.items():
+            lines.append(f"{name}  {uj} uJ")
+        lines += [
+            f"package_total_J  {node.package_j:.6f}",
+            f"dram_total_J     {node.dram_j:.6f}",
+            f"node_total_J     {node.total_j:.6f}",
+            f"mean_power_W     {node.mean_power_w:.3f}",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        written.append(path)
+    return written
+
+
+def parse_node_file(path: str | Path) -> NodeMeasurement:
+    """Read back a file written by :func:`file_management`."""
+    path = Path(path)
+    values: dict[str, int] = {}
+    meta: dict[str, float] = {}
+    monitor_rank = -1
+    node_id = -1
+    phase = "general"
+    for line in path.read_text().splitlines():
+        if line.startswith("# PAPI"):
+            node_id = int(line.rsplit("node", 1)[1])
+        elif line.startswith("# monitoring rank"):
+            monitor_rank = int(line.rsplit(":", 1)[1])
+        elif line.startswith("# phase:"):
+            phase = line.split(":", 1)[1].strip()
+        elif line.startswith("powercap:::"):
+            name, uj, _unit = line.split()
+            values[name] = int(uj)
+        elif line and not line.startswith("#"):
+            key, value = line.split()
+            meta[key] = float(value)
+    return NodeMeasurement(
+        node_id=node_id,
+        monitor_world_rank=monitor_rank,
+        t_start=meta["t_start_s"],
+        t_stop=meta["t_stop_s"],
+        values_uj=values,
+        phase=phase,
+    )

@@ -1,0 +1,199 @@
+"""Simulated Model-Specific Registers for RAPL energy readout.
+
+Reproduces the interface (and artefacts) described in §2.3 of the paper:
+
+* the RAPL energy-status counters are **32-bit** registers counting energy
+  in units published by ``MSR_RAPL_POWER_UNIT`` (2⁻¹⁴ J ≈ 61 µJ on
+  Skylake-SP), so they **wrap around** after ~2.6×10⁵ J;
+* counters are updated roughly **once a millisecond with jitter** — reads
+  return the value as of the last update tick, not the instantaneous energy;
+* reading a domain requires the CPU model to be detected first (the MSR
+  layout is not architectural) — the device exposes a CPUID-style model id
+  and refuses reads until the caller has queried it, mirroring the detection
+  step a real RAPL reader performs.
+
+The exact underlying energy comes from the per-domain
+:class:`~repro.energy.accounting.ActivityAccountant`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.energy.accounting import ActivityAccountant
+
+# Register addresses (Intel SDM vol. 4).
+MSR_RAPL_POWER_UNIT = 0x606
+MSR_PKG_ENERGY_STATUS = 0x611
+MSR_PKG_POWER_LIMIT = 0x610
+MSR_DRAM_ENERGY_STATUS = 0x619
+
+#: energy-status-unit field value: energy unit is 2**-ESU joules
+SKYLAKE_ESU = 14
+
+#: power-unit field value: power-limit unit is 2**-PSU watts (0.125 W)
+SKYLAKE_PSU = 3
+
+#: time-unit field value: limit time windows count in 2**-TSU seconds
+SKYLAKE_TSU = 10
+
+
+def encode_power_limit(watts: float, enabled: bool = True,
+                       power_unit_bits: int = SKYLAKE_PSU) -> int:
+    """Encode a PL1 power limit into the MSR_PKG_POWER_LIMIT low word.
+
+    Bits 14:0 hold the limit in power units (2^-PSU W); bit 15 enables it
+    (Intel SDM vol. 4, MSR 0x610).
+    """
+    if watts < 0:
+        raise ValueError(f"negative power limit: {watts}")
+    units = int(round(watts * (1 << power_unit_bits)))
+    if units >= (1 << 15):
+        raise ValueError(f"power limit {watts} W overflows the PL1 field")
+    return units | ((1 << 15) if enabled else 0)
+
+
+def decode_power_limit(raw: int,
+                       power_unit_bits: int = SKYLAKE_PSU) -> tuple[float, bool]:
+    """Decode the PL1 field: returns ``(watts, enabled)``."""
+    units = raw & 0x7FFF
+    enabled = bool(raw & (1 << 15))
+    return units / (1 << power_unit_bits), enabled
+
+#: Skylake-SP CPUID signature (family 6, model 85)
+CPU_FAMILY = 6
+CPU_MODEL_SKYLAKE_X = 85
+
+_COUNTER_BITS = 32
+_COUNTER_MOD = 1 << _COUNTER_BITS
+
+
+class MsrAccessError(RuntimeError):
+    """Raised for reads the real MSR driver would reject."""
+
+
+class MsrDevice:
+    """Register-level energy readout for one node.
+
+    Parameters
+    ----------
+    pkg_accountants, dram_accountants:
+        One accountant per socket (package domain) and per DRAM domain.
+    clock:
+        Callable returning the current virtual time (seconds).
+    update_quantum:
+        Counter refresh period (~1 ms on real hardware).
+    seed:
+        Seeds the per-domain update phase (the "jitter" of §2.3): each
+        domain's counter ticks at ``k·quantum + phase``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        pkg_accountants: Sequence[ActivityAccountant],
+        dram_accountants: Sequence[ActivityAccountant],
+        clock: Callable[[], float],
+        update_quantum: float = 1.0e-3,
+        seed: int = 0,
+        cpu_model: int = CPU_MODEL_SKYLAKE_X,
+    ):
+        if len(pkg_accountants) != len(dram_accountants):
+            raise ValueError("need one DRAM domain per package")
+        self.node_id = node_id
+        self._pkg = list(pkg_accountants)
+        self._dram = list(dram_accountants)
+        self._clock = clock
+        self.update_quantum = update_quantum
+        self.cpu_family = CPU_FAMILY
+        self.cpu_model = cpu_model
+        self._model_detected = False
+        self._power_limits: dict[int, int] = {}
+        self._on_power_limit = None
+        # Deterministic per-domain phase in [0, quantum): the jitter between
+        # domains that makes simultaneous PKG0/PKG1 reads slightly skewed.
+        n_domains = 2 * len(self._pkg)
+        self._phases = [
+            (abs(hash((seed, node_id, d))) % 1000) / 1000.0 * update_quantum
+            for d in range(n_domains)
+        ]
+
+    @property
+    def n_packages(self) -> int:
+        return len(self._pkg)
+
+    # ------------------------------------------------------------- detection
+    def detect_cpu(self) -> tuple[int, int]:
+        """CPUID-style model detection; must precede any energy read."""
+        self._model_detected = True
+        return (self.cpu_family, self.cpu_model)
+
+    @property
+    def energy_unit_j(self) -> float:
+        """Joules per counter LSB, decoded from ``MSR_RAPL_POWER_UNIT``."""
+        esu = (self.read_msr(MSR_RAPL_POWER_UNIT) >> 8) & 0x1F
+        return 2.0 ** (-esu)
+
+    # ----------------------------------------------------------------- reads
+    def read_msr(self, register: int, package: int = 0) -> int:
+        """Raw register read (the ``/dev/cpu/*/msr`` code path)."""
+        if register == MSR_RAPL_POWER_UNIT:
+            # power unit (3:0), energy unit (12:8), time unit (19:16)
+            return SKYLAKE_PSU | (SKYLAKE_ESU << 8) | (SKYLAKE_TSU << 16)
+        if register == MSR_PKG_ENERGY_STATUS:
+            return self._energy_counter(self._pkg, package, domain_slot=0)
+        if register == MSR_DRAM_ENERGY_STATUS:
+            return self._energy_counter(self._dram, package, domain_slot=1)
+        if register == MSR_PKG_POWER_LIMIT:
+            return self._power_limits.get(package, 0)
+        raise MsrAccessError(f"unsupported MSR 0x{register:x}")
+
+    def write_msr(self, register: int, value: int, package: int = 0) -> None:
+        """Raw register write — only the package power limit is writable."""
+        if register != MSR_PKG_POWER_LIMIT:
+            raise MsrAccessError(
+                f"MSR 0x{register:x} is read-only in this model"
+            )
+        if not (0 <= package < len(self._pkg)):
+            raise MsrAccessError(
+                f"package {package} out of range on node {self.node_id}"
+            )
+        self._power_limits[package] = int(value)
+        watts, enabled = decode_power_limit(int(value))
+        if self._on_power_limit is not None:
+            self._on_power_limit(package, watts if enabled else None)
+
+    def set_power_limit_hook(self, hook) -> None:
+        """Register ``hook(package, watts_or_None)`` fired on limit writes."""
+        self._on_power_limit = hook
+
+    def _energy_counter(self, accountants, package: int, domain_slot: int) -> int:
+        if not self._model_detected:
+            raise MsrAccessError(
+                "RAPL domain read before CPU model detection; call "
+                "detect_cpu() first (the MSR layout is model-specific)"
+            )
+        if not (0 <= package < len(accountants)):
+            raise MsrAccessError(
+                f"package {package} out of range on node {self.node_id}"
+            )
+        t = self._clock()
+        phase = self._phases[2 * package + domain_slot]
+        # Value as of the last update tick at or before t.
+        if t < phase:
+            t_update = 0.0
+        else:
+            t_update = math.floor((t - phase) / self.update_quantum) \
+                * self.update_quantum + phase
+        joules = accountants[package].energy_at(t_update)
+        unit = 2.0 ** (-SKYLAKE_ESU)
+        return int(joules / unit) % _COUNTER_MOD
+
+    # ------------------------------------------------- exact (oracle) access
+    def exact_energy_j(self, package: int, domain: str, t: float | None = None) -> float:
+        """Ground-truth joules, bypassing counter artefacts (for tests and
+        for the validation against 'external power meters' the paper plans
+        as future work)."""
+        accountants = {"pkg": self._pkg, "dram": self._dram}[domain]
+        return accountants[package].energy_at(self._clock() if t is None else t)

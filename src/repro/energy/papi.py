@@ -1,0 +1,272 @@
+"""A PAPI-like performance/energy API over the simulated RAPL MSRs.
+
+Reproduces the subset of PAPI the paper's monitoring code uses (§4): library
+and thread initialization, event-set lifecycle, translation of ``powercap``
+component event names to codes, and timed start/stop/read of the energy
+counters.  Counter values are reported in microjoules since ``start`` with
+32-bit wraparound corrected across reads, exactly as PAPI's powercap
+component does over the kernel interface.
+
+Event naming follows the real powercap component::
+
+    powercap:::ENERGY_UJ:ZONE0            package 0
+    powercap:::ENERGY_UJ:ZONE0_SUBZONE0   dram 0
+    powercap:::ENERGY_UJ:ZONE1            package 1
+    powercap:::ENERGY_UJ:ZONE1_SUBZONE0   dram 1
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.energy.msr import (
+    MSR_DRAM_ENERGY_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MsrDevice,
+)
+from repro.energy.rapl import RaplNode
+
+PAPI_OK = 0
+PAPI_VER_CURRENT = (7, 0, 0)
+
+_COUNTER_MOD = 1 << 32
+
+_ZONE_RE = re.compile(
+    r"^powercap:::ENERGY_UJ:ZONE(?P<zone>\d+)(?:_SUBZONE(?P<sub>\d+))?$"
+)
+
+
+class PapiError(RuntimeError):
+    """PAPI-style error with a negative code."""
+
+    def __init__(self, code: int, message: str):
+        self.code = code
+        super().__init__(f"PAPI error {code}: {message}")
+
+
+PAPI_EINVAL = -1
+PAPI_ENOEVNT = -7
+PAPI_ENOTRUN = -9
+PAPI_EISRUN = -10
+PAPI_ENOINIT = -14
+
+
+def powercap_event_names(n_sockets: int = 2, include_dram: bool = True) -> list[str]:
+    """The monitored event list, in the paper's order (PKG0, PKG1, DRAM0, DRAM1)."""
+    names = [f"powercap:::ENERGY_UJ:ZONE{z}" for z in range(n_sockets)]
+    if include_dram:
+        names += [f"powercap:::ENERGY_UJ:ZONE{z}_SUBZONE0" for z in range(n_sockets)]
+    return names
+
+
+@dataclass
+class _EventBinding:
+    name: str
+    code: int
+    register: int  # MSR register backing the event
+    package: int
+
+
+class EventSet:
+    """A PAPI event set: an ordered list of events with start/read state."""
+
+    def __init__(self, library: "PapiLibrary"):
+        self._lib = library
+        self.events: list[_EventBinding] = []
+        self.running = False
+        self._last_raw: list[int] = []
+        self._acc_raw: list[int] = []
+        self.t_start: float | None = None
+        self.t_stop: float | None = None
+
+    def event_names(self) -> list[str]:
+        return [e.name for e in self.events]
+
+
+class PapiLibrary:
+    """Per-node PAPI instance (PAPI reads the MSRs of the host it runs on)."""
+
+    def __init__(self, rapl_node: RaplNode, clock: Callable[[], float]):
+        self._node = rapl_node
+        self._msr: MsrDevice = rapl_node.msr
+        self._clock = clock
+        self._initialized = False
+        self._thread_initialized = False
+        self._codes: dict[str, int] = {}
+        self._bindings: dict[int, _EventBinding] = {}
+        self._hl_regions: dict[str, dict] = {}
+        self._hl_active: dict[str, EventSet] = {}
+        self._register_component_events()
+
+    # -------------------------------------------------------------- lifecycle
+    def library_init(self, version: tuple = PAPI_VER_CURRENT) -> tuple:
+        """``PAPI_library_init``; returns the library version on success."""
+        if version[0] != PAPI_VER_CURRENT[0]:
+            raise PapiError(PAPI_EINVAL,
+                            f"version mismatch: {version} vs {PAPI_VER_CURRENT}")
+        self._initialized = True
+        # Reading RAPL requires knowing the CPU model (§2.3).
+        self._msr.detect_cpu()
+        return PAPI_VER_CURRENT
+
+    def thread_init(self) -> int:
+        if not self._initialized:
+            raise PapiError(PAPI_ENOINIT, "library_init must come first")
+        self._thread_initialized = True
+        return PAPI_OK
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized and self._thread_initialized
+
+    def _register_component_events(self) -> None:
+        code = 0x40000000  # PAPI component-event code space
+        for z in range(self._node.n_sockets):
+            for name, reg in (
+                (f"powercap:::ENERGY_UJ:ZONE{z}", MSR_PKG_ENERGY_STATUS),
+                (f"powercap:::ENERGY_UJ:ZONE{z}_SUBZONE0", MSR_DRAM_ENERGY_STATUS),
+            ):
+                self._codes[name] = code
+                self._bindings[code] = _EventBinding(
+                    name=name, code=code, register=reg, package=z
+                )
+                code += 1
+
+    # ----------------------------------------------------------------- events
+    def event_name_to_code(self, name: str) -> int:
+        """``PAPI_event_name_to_code`` for the powercap component."""
+        if not self._initialized:
+            raise PapiError(PAPI_ENOINIT, "library not initialized")
+        try:
+            return self._codes[name]
+        except KeyError:
+            if _ZONE_RE.match(name):
+                raise PapiError(
+                    PAPI_ENOEVNT, f"zone in {name!r} not present on this node"
+                )
+            raise PapiError(PAPI_ENOEVNT, f"unknown event {name!r}")
+
+    def create_eventset(self) -> EventSet:
+        if not self.initialized:
+            raise PapiError(PAPI_ENOINIT, "library/thread not initialized")
+        return EventSet(self)
+
+    def add_event(self, eventset: EventSet, code: int) -> int:
+        if eventset.running:
+            raise PapiError(PAPI_EISRUN, "cannot add events to a running set")
+        binding = self._bindings.get(code)
+        if binding is None:
+            raise PapiError(PAPI_ENOEVNT, f"unknown event code 0x{code:x}")
+        eventset.events.append(binding)
+        return PAPI_OK
+
+    def add_named_events(self, eventset: EventSet, names: list[str]) -> int:
+        for name in names:
+            self.add_event(eventset, self.event_name_to_code(name))
+        return PAPI_OK
+
+    # ---------------------------------------------------------------- control
+    def start(self, eventset: EventSet) -> float:
+        """``PAPI_start`` + timestamp (the paper's ``PAPI_start_AND_time``)."""
+        if eventset.running:
+            raise PapiError(PAPI_EISRUN, "event set already running")
+        if not eventset.events:
+            raise PapiError(PAPI_EINVAL, "event set is empty")
+        eventset._last_raw = [self._raw(e) for e in eventset.events]
+        eventset._acc_raw = [0] * len(eventset.events)
+        eventset.running = True
+        eventset.t_start = self._clock()
+        eventset.t_stop = None
+        return eventset.t_start
+
+    def read(self, eventset: EventSet) -> list[int]:
+        """Accumulated µJ per event since ``start`` (wrap-corrected)."""
+        if not eventset.running:
+            raise PapiError(PAPI_ENOTRUN, "event set not running")
+        return self._advance(eventset)
+
+    def stop(self, eventset: EventSet) -> tuple[list[int], float]:
+        """``PAPI_stop`` + timestamp (the paper's ``PAPI_stop_AND_time``).
+
+        Returns ``(values_uj, t_stop)``.
+        """
+        if not eventset.running:
+            raise PapiError(PAPI_ENOTRUN, "event set not running")
+        values = self._advance(eventset)
+        eventset.running = False
+        eventset.t_stop = self._clock()
+        return values, eventset.t_stop
+
+    def cleanup_eventset(self, eventset: EventSet) -> int:
+        if eventset.running:
+            raise PapiError(PAPI_EISRUN, "stop the event set first")
+        eventset.events.clear()
+        return PAPI_OK
+
+    def destroy_eventset(self, eventset: EventSet) -> int:
+        self.cleanup_eventset(eventset)
+        return PAPI_OK
+
+    # --------------------------------------------------------- high-level API
+    # Mirrors PAPI 6's hl interface: named regions auto-initialize the
+    # library and the full powercap event set; readings accumulate per
+    # region across repeated entries (PAPI_hl_region_begin/_end).
+    def hl_region_begin(self, region: str) -> int:
+        if not self._initialized:
+            self.library_init()
+            self.thread_init()
+        if region in self._hl_active:
+            raise PapiError(PAPI_EISRUN, f"region {region!r} already open")
+        es = self.create_eventset()
+        self.add_named_events(
+            es, [name for name in self._codes]
+        )
+        self.start(es)
+        self._hl_active[region] = es
+        return PAPI_OK
+
+    def hl_region_end(self, region: str) -> int:
+        active = self._hl_active
+        if region not in active:
+            raise PapiError(PAPI_ENOTRUN, f"region {region!r} not open")
+        es = active.pop(region)
+        values, _t = self.stop(es)
+        names = es.event_names()
+        self.destroy_eventset(es)
+        stats = self._hl_regions.setdefault(
+            region, {"region_count": 0, **{n: 0 for n in names}}
+        )
+        stats["region_count"] += 1
+        for name, uj in zip(names, values):
+            stats[name] += uj
+        return PAPI_OK
+
+    def hl_read(self, region: str) -> dict:
+        """Accumulated per-region values (µJ per event + entry count)."""
+        regions = self._hl_regions
+        if region not in regions:
+            raise PapiError(PAPI_ENOEVNT, f"no data for region {region!r}")
+        return dict(regions[region])
+
+    def hl_stop(self) -> dict:
+        """Close any open regions and return all per-region statistics."""
+        for region in list(self._hl_active):
+            self.hl_region_end(region)
+        return {r: dict(v) for r, v in self._hl_regions.items()}
+
+    # ---------------------------------------------------------------- helpers
+    def _raw(self, binding: _EventBinding) -> int:
+        return self._msr.read_msr(binding.register, package=binding.package)
+
+    def _advance(self, eventset: EventSet) -> list[int]:
+        unit_j = self._msr.energy_unit_j
+        out = []
+        for i, binding in enumerate(eventset.events):
+            raw = self._raw(binding)
+            delta = (raw - eventset._last_raw[i]) % _COUNTER_MOD
+            eventset._acc_raw[i] += delta
+            eventset._last_raw[i] = raw
+            out.append(int(eventset._acc_raw[i] * unit_j * 1e6))
+        return out

@@ -1,0 +1,144 @@
+"""Package and DRAM power model.
+
+The model is deliberately simple and fully parameterized; every coefficient
+is surfaced so the calibration module can tune the machine to reproduce the
+paper's observed ratios:
+
+* an *idle* package draws a large fraction of its loaded power (the paper
+  found an "empty" socket consuming only 50–60 % less than a loaded one,
+  §5.3) — ``pkg_idle_w`` controls that floor;
+* each active core adds a base cost plus terms proportional to its
+  floating-point utilization and its memory-access intensity;
+* DRAM domains draw an idle floor plus energy per byte moved;
+* a power cap scales core frequency (cube-root law: dynamic power ~ f³),
+  stretching compute time — used by the power-capping extension experiment.
+
+Power is expressed in watts, energy in joules, time in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Coefficients of the node power model (per socket / per DRAM domain)."""
+
+    #: idle (package powered, no active core) watts per socket
+    pkg_idle_w: float = 45.0
+    #: watts added by an active core independent of what it executes
+    core_base_w: float = 1.05
+    #: watts added per unit of floating-point utilization of a core
+    core_flops_w: float = 1.45
+    #: watts added per unit of memory intensity of a core
+    core_mem_w: float = 0.55
+    #: idle watts per DRAM domain
+    dram_idle_w: float = 8.0
+    #: joules per byte of DRAM traffic
+    dram_energy_per_byte: float = 2.0e-10
+    #: nominal core frequency (Hz); power caps scale this down
+    nominal_freq_hz: float = 2.1e9
+    #: thermal design power per socket (the default RAPL power limit)
+    pkg_tdp_w: float = 150.0
+    #: utilization of a core busy-waiting in a blocking MPI call (MPI
+    #: progress engines poll; allocated cores never drop to package idle)
+    spin_flop_util: float = 0.25
+    spin_mem_util: float = 0.05
+    #: per-core dynamic power rises slightly as the socket fills (shared
+    #: uncore/mesh clocks up under load) — this is what separates the
+    #: paper's two half-load shapes (24+0 vs 12+12) by a small margin
+    occupancy_power_slope: float = 0.03
+
+    def with_overrides(self, **kwargs) -> "PowerParams":
+        return replace(self, **kwargs)
+
+
+class PackagePower:
+    """Power of one CPU package under a given activity mix.
+
+    ``freq_ratio`` is the DVFS operating point in (0, 1]; dynamic terms scale
+    as ``freq_ratio ** 3`` (voltage tracks frequency), the idle floor does
+    not scale (uncore + leakage).
+    """
+
+    def __init__(self, params: PowerParams):
+        self.params = params
+
+    def idle_power(self) -> float:
+        return self.params.pkg_idle_w
+
+    def core_active_power(self, flop_util: float, mem_util: float,
+                          freq_ratio: float = 1.0,
+                          occupancy_frac: float = 0.0) -> float:
+        """Incremental watts of one active core over the idle package.
+
+        ``occupancy_frac`` ∈ [0, 1] is how full the socket is beyond this
+        core ((active−1)/(capacity−1)); the shared uncore adds a small
+        per-core uplift as the socket fills.
+        """
+        if not (0.0 <= flop_util <= 1.0 and 0.0 <= mem_util <= 1.0):
+            raise ValueError(
+                f"utilizations must be in [0,1]: flop={flop_util}, mem={mem_util}"
+            )
+        if not (0.0 < freq_ratio <= 1.0):
+            raise ValueError(f"freq_ratio must be in (0,1]: {freq_ratio}")
+        if not (0.0 <= occupancy_frac <= 1.0):
+            raise ValueError(f"occupancy_frac must be in [0,1]: {occupancy_frac}")
+        p = self.params
+        dynamic = (p.core_base_w
+                   + p.core_flops_w * flop_util
+                   + p.core_mem_w * mem_util)
+        dynamic *= 1.0 + p.occupancy_power_slope * occupancy_frac
+        return dynamic * freq_ratio ** 3
+
+    def package_power(self, active_cores: int, flop_util: float,
+                      mem_util: float, freq_ratio: float = 1.0,
+                      capacity: int | None = None) -> float:
+        """Total watts for ``active_cores`` identical active cores."""
+        if active_cores < 0:
+            raise ValueError(f"negative active core count: {active_cores}")
+        occ = 0.0
+        if capacity is not None and capacity > 1 and active_cores > 0:
+            occ = (active_cores - 1) / (capacity - 1)
+        return self.idle_power() + active_cores * self.core_active_power(
+            flop_util, mem_util, freq_ratio, occupancy_frac=occ
+        )
+
+    def freq_ratio_for_cap(self, cap_w: float, active_cores: int,
+                           flop_util: float, mem_util: float) -> float:
+        """Highest frequency ratio that keeps the package under ``cap_w``.
+
+        Solves ``idle + n·dyn·r³ ≤ cap`` for ``r``, clamped to (0.05, 1].
+        A cap below the idle floor cannot be met by DVFS alone; the model
+        then pins the package at its minimum operating point.
+        """
+        if cap_w <= 0:
+            raise ValueError(f"power cap must be positive: {cap_w}")
+        full = self.package_power(active_cores, flop_util, mem_util, 1.0)
+        if full <= cap_w or active_cores == 0:
+            return 1.0
+        dyn_budget = cap_w - self.idle_power()
+        dyn_full = full - self.idle_power()
+        if dyn_budget <= 0:
+            return 0.05
+        ratio = (dyn_budget / dyn_full) ** (1.0 / 3.0)
+        return max(0.05, min(1.0, ratio))
+
+
+class DramPower:
+    """Power of one DRAM domain given a sustained traffic rate."""
+
+    def __init__(self, params: PowerParams):
+        self.params = params
+
+    def idle_power(self) -> float:
+        return self.params.dram_idle_w
+
+    def traffic_power(self, bytes_per_second: float) -> float:
+        if bytes_per_second < 0:
+            raise ValueError(f"negative traffic rate: {bytes_per_second}")
+        return self.params.dram_energy_per_byte * bytes_per_second
+
+    def domain_power(self, bytes_per_second: float) -> float:
+        return self.idle_power() + self.traffic_power(bytes_per_second)

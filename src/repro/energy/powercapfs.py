@@ -1,0 +1,107 @@
+"""Linux powercap sysfs emulation (``/sys/class/powercap``).
+
+On real Linux the PAPI ``powercap`` component reads the kernel's powercap
+class tree rather than raw MSRs: one zone per package
+(``intel-rapl:<p>``) with a DRAM sub-zone (``intel-rapl:<p>:0``), each
+exposing ``name``, ``energy_uj``, ``max_energy_range_uj``, and writable
+``constraint_0_power_limit_uw``.  This module reproduces that interface
+over the simulated :class:`~repro.energy.rapl.RaplNode`, so user code that
+speaks sysfs (scripts, EAR-style daemons) can run against the simulator —
+and so power caps can be applied the way a sysadmin would.
+
+Paths are virtual strings; ``read``/``write`` mimic reading/writing the
+files' text contents.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.energy.msr import encode_power_limit, MSR_PKG_POWER_LIMIT
+from repro.energy.rapl import RaplNode
+
+_ZONE_RE = re.compile(
+    r"^intel-rapl:(?P<pkg>\d+)(?::(?P<sub>\d+))?/(?P<attr>[\w-]+)$"
+)
+
+#: 32-bit counter range in µJ at the Skylake energy unit (2⁻¹⁴ J)
+_MAX_ENERGY_RANGE_UJ = int((1 << 32) * 2.0 ** -14 * 1e6)
+
+
+class PowercapFSError(OSError):
+    """Bad path or access the real sysfs would reject."""
+
+
+class PowercapFS:
+    """The powercap class tree of one node."""
+
+    def __init__(self, rapl_node: RaplNode):
+        self._node = rapl_node
+        # Reading energy through the class tree performs the same model
+        # detection the MSR driver needs.
+        self._node.msr.detect_cpu()
+
+    # ------------------------------------------------------------ structure
+    def list_zones(self) -> list[str]:
+        """Top-level and sub-zone directory names."""
+        zones = []
+        for p in range(self._node.n_sockets):
+            zones.append(f"intel-rapl:{p}")
+            zones.append(f"intel-rapl:{p}:0")
+        return zones
+
+    def list_files(self, zone: str) -> list[str]:
+        if zone not in self.list_zones():
+            raise PowercapFSError(f"no such zone: {zone}")
+        files = ["name", "energy_uj", "max_energy_range_uj"]
+        if ":" not in zone.rpartition("intel-rapl:")[2]:
+            files.append("constraint_0_power_limit_uw")
+        return files
+
+    # ------------------------------------------------------------------ I/O
+    def _parse(self, path: str):
+        match = _ZONE_RE.match(path)
+        if not match:
+            raise PowercapFSError(f"no such file: {path}")
+        pkg = int(match.group("pkg"))
+        if not (0 <= pkg < self._node.n_sockets):
+            raise PowercapFSError(f"no such zone: intel-rapl:{pkg}")
+        sub = match.group("sub")
+        if sub is not None and sub != "0":
+            raise PowercapFSError(f"no such sub-zone: {path}")
+        return pkg, sub is not None, match.group("attr")
+
+    def read(self, path: str) -> str:
+        """Read a powercap attribute (returns the file's text content)."""
+        pkg, is_dram, attr = self._parse(path)
+        if attr == "name":
+            return f"dram" if is_dram else f"package-{pkg}"
+        if attr == "max_energy_range_uj":
+            return str(_MAX_ENERGY_RANGE_UJ)
+        if attr == "energy_uj":
+            from repro.energy.msr import (
+                MSR_DRAM_ENERGY_STATUS,
+                MSR_PKG_ENERGY_STATUS,
+            )
+            register = (MSR_DRAM_ENERGY_STATUS if is_dram
+                        else MSR_PKG_ENERGY_STATUS)
+            raw = self._node.msr.read_msr(register, package=pkg)
+            unit_j = self._node.msr.energy_unit_j
+            return str(int(raw * unit_j * 1e6))
+        if attr == "constraint_0_power_limit_uw" and not is_dram:
+            return str(int(self._node.package(pkg).power_cap_w * 1e6))
+        raise PowercapFSError(f"no such file: {path}")
+
+    def write(self, path: str, content: str) -> None:
+        """Write a powercap attribute (only the package power limit)."""
+        pkg, is_dram, attr = self._parse(path)
+        if attr != "constraint_0_power_limit_uw" or is_dram:
+            raise PowercapFSError(f"permission denied: {path}")
+        try:
+            microwatts = int(content.strip())
+        except ValueError:
+            raise PowercapFSError(f"invalid value for {path}: {content!r}")
+        if microwatts <= 0:
+            raise PowercapFSError(f"invalid limit: {microwatts}")
+        raw = encode_power_limit(microwatts / 1e6)
+        self._node.msr.write_msr(MSR_PKG_POWER_LIMIT, raw, package=pkg)

@@ -1,0 +1,85 @@
+"""The paper's evaluation grid (§5.1, Table 1).
+
+Four matrix dimensions × three rank counts × three load shapes, ten
+repetitions per job, both algorithms, on Marconi A3.  The rank counts are
+square numbers (an IMe deployment requirement the paper notes) and the
+node counts follow Table 1 exactly (3/6/6, 12/24/24, 27/54/54).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cluster.machine import MachineSpec, marconi_a3
+from repro.cluster.placement import Layout, LoadShape, layout_for
+from repro.workloads.generator import PAPER_MATRIX_SIZES
+
+#: §5.1: rank counts "related to the matrix dimension and fulfil IMe's
+#: square number of ranks requirement".
+PAPER_RANKS = (144, 576, 1296)
+
+#: §5.1: "ten repetitions for each job are performed".
+PAPER_REPETITIONS = 10
+
+#: Both compared algorithms.
+ALGORITHMS = ("ime", "scalapack")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One evaluation point."""
+
+    algorithm: str
+    n: int
+    ranks: int
+    shape: LoadShape
+
+    def layout(self, machine: MachineSpec) -> Layout:
+        return layout_for(self.ranks, self.shape, machine)
+
+    def describe(self, machine: MachineSpec) -> str:
+        lay = self.layout(machine)
+        return (f"{self.algorithm} n={self.n} {lay.describe()} "
+                f"[{self.shape.value}]")
+
+
+@dataclass(frozen=True)
+class EvaluationGrid:
+    """The full §5 grid, iterable in a deterministic order."""
+
+    matrix_sizes: tuple[int, ...] = PAPER_MATRIX_SIZES
+    ranks: tuple[int, ...] = PAPER_RANKS
+    shapes: tuple[LoadShape, ...] = (
+        LoadShape.FULL, LoadShape.HALF_ONE_SOCKET, LoadShape.HALF_TWO_SOCKETS
+    )
+    algorithms: tuple[str, ...] = ALGORITHMS
+    repetitions: int = PAPER_REPETITIONS
+    machine: MachineSpec = field(default_factory=marconi_a3)
+
+    def __iter__(self) -> Iterator[Configuration]:
+        for algorithm in self.algorithms:
+            for n in self.matrix_sizes:
+                for ranks in self.ranks:
+                    for shape in self.shapes:
+                        yield Configuration(algorithm, n, ranks, shape)
+
+    def __len__(self) -> int:
+        return (len(self.algorithms) * len(self.matrix_sizes)
+                * len(self.ranks) * len(self.shapes))
+
+    def table1_rows(self) -> list[dict]:
+        """Table 1 as structured rows (the bench prints these)."""
+        rows = []
+        for ranks in self.ranks:
+            for shape in self.shapes:
+                lay = layout_for(ranks, shape, self.machine)
+                rows.append({
+                    "ranks": ranks,
+                    "nodes": lay.nodes,
+                    "ranks_per_node": lay.ranks_per_node,
+                    "sockets": lay.sockets_used,
+                    "ranks_per_socket": lay.ranks_per_socket,
+                    "shape": shape.value,
+                })
+        return rows

@@ -1,0 +1,95 @@
+"""Result export: CSV/JSON writers for figures and experiment records.
+
+The testing framework stores the raw per-node PAPI files (§4's
+human-readable format); downstream analysis wants tabular data.  These
+writers serialize the figure series and configuration results into plain
+CSV (one row per data point) and JSON (nested, with the grid metadata),
+so the reproduced charts can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.runner import ConfigResult
+
+
+def figure_to_rows(figure_data: dict, value_keys: tuple[str, ...] | None = None
+                   ) -> list[dict]:
+    """Flatten a ``figures.figureN`` structure into row dicts.
+
+    The structures are ``{algorithm: {series_key: {x: value-or-dict}}}``;
+    rows carry ``algorithm``, ``series``, ``x`` plus the value columns.
+    """
+    rows = []
+    for algorithm, by_series in figure_data.items():
+        for series, points in by_series.items():
+            for x, value in points.items():
+                row = {"algorithm": algorithm, "series": series, "x": x}
+                if isinstance(value, dict):
+                    row.update(value)
+                else:
+                    row["value"] = value
+                rows.append(row)
+    if value_keys is not None:
+        missing = [k for k in value_keys if rows and k not in rows[0]]
+        if missing:
+            raise ValueError(f"figure data lacks columns {missing}")
+    return rows
+
+
+def write_figure_csv(figure_data: dict, path: str | Path) -> Path:
+    """Write a figure series as CSV; returns the written path."""
+    rows = figure_to_rows(figure_data)
+    if not rows:
+        raise ValueError("empty figure data")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def config_result_to_dict(result: ConfigResult) -> dict:
+    """JSON-serializable view of one configuration's aggregates."""
+    return {
+        "algorithm": result.algorithm,
+        "n": result.n,
+        "ranks": result.ranks,
+        "shape": result.shape.value,
+        "repetitions": result.repetitions,
+        "mean_duration_s": result.mean_duration,
+        "stdev_duration_s": result.stdev_duration,
+        "mean_total_j": result.mean_total_j,
+        "mean_package_j": result.mean_package_j,
+        "mean_dram_j": result.mean_dram_j,
+        "mean_power_w": result.mean_power_w,
+        "dram_power_w": result.dram_power_w,
+        "domains_j": dict(result.domain_means_j),
+    }
+
+
+def write_results_json(results: list[ConfigResult], path: str | Path,
+                       metadata: dict | None = None) -> Path:
+    """Write configuration results (plus metadata) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "metadata": metadata or {},
+        "results": [config_result_to_dict(r) for r in results],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results_json(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read back a file written by :func:`write_results_json`."""
+    payload = json.loads(Path(path).read_text())
+    if "results" not in payload:
+        raise ValueError(f"not a results file: {path}")
+    return payload.get("metadata", {}), payload["results"]

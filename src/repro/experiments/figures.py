@@ -1,0 +1,121 @@
+"""Data series for the paper's Figures 3–7 (§5.2).
+
+Every function returns plain dict/list structures (no plotting — the
+benchmark harness prints the same rows/series the paper charts), keyed the
+way the corresponding figure organizes its axes:
+
+* Figure 3 — energy of full vs half-loaded processors, per algorithm;
+* Figure 4 — energy & time vs matrix dimension at fixed ranks;
+* Figure 5 — energy & time vs ranks at fixed matrix dimension;
+* Figure 6 — energy & power vs matrix dimension at fixed ranks;
+* Figure 7 — energy & power vs ranks at fixed matrix dimension.
+
+All values are repetition means from the analytic runner on Marconi A3
+(48-core FULL deployments for Figures 4–7, as in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import MachineSpec, marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.experiments.configs import ALGORITHMS, PAPER_RANKS
+from repro.experiments.runner import run_analytic
+from repro.workloads.generator import PAPER_MATRIX_SIZES
+
+_SHAPES = (LoadShape.FULL, LoadShape.HALF_ONE_SOCKET,
+           LoadShape.HALF_TWO_SOCKETS)
+
+
+def figure3(machine: MachineSpec | None = None,
+            ranks: int = 144) -> dict:
+    """Fig. 3: energy of the three load shapes across matrix dimensions.
+
+    Returns ``{algorithm: {shape.value: {n: energy_J}}}``.
+    """
+    machine = machine or marconi_a3()
+    out: dict = {}
+    for algorithm in ALGORITHMS:
+        out[algorithm] = {}
+        for shape in _SHAPES:
+            series = {}
+            for n in PAPER_MATRIX_SIZES:
+                r = run_analytic(algorithm, n, ranks, shape, machine)
+                series[n] = r.mean_total_j
+            out[algorithm][shape.value] = series
+    return out
+
+
+def figure4(machine: MachineSpec | None = None) -> dict:
+    """Fig. 4: energy & time vs matrix dimension, one series per rank count.
+
+    Returns ``{algorithm: {ranks: {n: {"energy_j", "duration_s"}}}}``.
+    """
+    machine = machine or marconi_a3()
+    out: dict = {}
+    for algorithm in ALGORITHMS:
+        out[algorithm] = {}
+        for ranks in PAPER_RANKS:
+            series = {}
+            for n in PAPER_MATRIX_SIZES:
+                r = run_analytic(algorithm, n, ranks, LoadShape.FULL, machine)
+                series[n] = {"energy_j": r.mean_total_j,
+                             "duration_s": r.mean_duration}
+            out[algorithm][ranks] = series
+    return out
+
+
+def figure5(machine: MachineSpec | None = None) -> dict:
+    """Fig. 5: energy & time vs ranks, one series per matrix dimension.
+
+    Returns ``{algorithm: {n: {ranks: {"energy_j", "duration_s"}}}}``.
+    """
+    machine = machine or marconi_a3()
+    out: dict = {}
+    for algorithm in ALGORITHMS:
+        out[algorithm] = {}
+        for n in PAPER_MATRIX_SIZES:
+            series = {}
+            for ranks in PAPER_RANKS:
+                r = run_analytic(algorithm, n, ranks, LoadShape.FULL, machine)
+                series[ranks] = {"energy_j": r.mean_total_j,
+                                 "duration_s": r.mean_duration}
+            out[algorithm][n] = series
+    return out
+
+
+def figure6(machine: MachineSpec | None = None) -> dict:
+    """Fig. 6: energy & power vs matrix dimension at fixed ranks.
+
+    Returns ``{algorithm: {ranks: {n: {"energy_j", "power_w"}}}}``.
+    """
+    machine = machine or marconi_a3()
+    out: dict = {}
+    for algorithm in ALGORITHMS:
+        out[algorithm] = {}
+        for ranks in PAPER_RANKS:
+            series = {}
+            for n in PAPER_MATRIX_SIZES:
+                r = run_analytic(algorithm, n, ranks, LoadShape.FULL, machine)
+                series[n] = {"energy_j": r.mean_total_j,
+                             "power_w": r.mean_power_w}
+            out[algorithm][ranks] = series
+    return out
+
+
+def figure7(machine: MachineSpec | None = None) -> dict:
+    """Fig. 7: energy & power vs ranks at fixed matrix dimension.
+
+    Returns ``{algorithm: {n: {ranks: {"energy_j", "power_w"}}}}``.
+    """
+    machine = machine or marconi_a3()
+    out: dict = {}
+    for algorithm in ALGORITHMS:
+        out[algorithm] = {}
+        for n in PAPER_MATRIX_SIZES:
+            series = {}
+            for ranks in PAPER_RANKS:
+                r = run_analytic(algorithm, n, ranks, LoadShape.FULL, machine)
+                series[ranks] = {"energy_j": r.mean_total_j,
+                                 "power_w": r.mean_power_w}
+            out[algorithm][n] = series
+    return out

@@ -1,0 +1,77 @@
+"""Green-HPC metrics: the flops-per-watt lens of the paper's introduction.
+
+§1 frames the work with the Green500 ("the world's most energy-efficient
+supercomputers, based on floating point operations per second per watt").
+These helpers apply that lens to the reproduced runs:
+
+* ``gflops_per_watt`` — *useful* solver throughput per watt for one
+  configuration (the algorithm's own flop count over measured energy);
+* ``solutions_per_megajoule`` — an algorithm-neutral efficiency (systems
+  solved per MJ), the fair basis for comparing IMe and ScaLAPACK since
+  they spend different flop counts on the same job;
+* ``green500_score`` — the machine-level peak metric (peak flops over
+  full-load power), for placing the simulated Marconi A3 on the list's
+  scale.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import MachineSpec, marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.energy.power_model import DramPower, PackagePower
+from repro.experiments.runner import ConfigResult, run_analytic
+from repro.solvers.ime.costmodel import ImeCostModel
+from repro.solvers.scalapack.costmodel import ScalapackCostModel
+
+_FLOPS = {
+    "ime": ImeCostModel.flops,
+    "scalapack": ScalapackCostModel.flops,
+}
+
+
+def useful_flops(algorithm: str, n: int) -> float:
+    """The algorithm's own arithmetic for one solve (§2 complexities)."""
+    try:
+        return _FLOPS[algorithm.lower()](n)
+    except KeyError:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def gflops_per_watt(result: ConfigResult) -> float:
+    """Sustained Gflop/s per watt over a configuration's repetitions."""
+    flops = useful_flops(result.algorithm, result.n)
+    return flops / result.mean_total_j / 1e9
+
+
+def solutions_per_megajoule(result: ConfigResult) -> float:
+    """Systems solved per megajoule — flop-count-neutral efficiency."""
+    return 1e6 / result.mean_total_j
+
+
+def efficiency_table(n: int, ranks: int,
+                     machine: MachineSpec | None = None) -> dict:
+    """Both algorithms' green metrics at one configuration."""
+    machine = machine or marconi_a3()
+    out = {}
+    for algorithm in ("ime", "scalapack"):
+        r = run_analytic(algorithm, n, ranks, LoadShape.FULL, machine)
+        out[algorithm] = {
+            "gflops_per_watt": gflops_per_watt(r),
+            "solutions_per_mj": solutions_per_megajoule(r),
+            "mean_power_w": r.mean_power_w,
+        }
+    return out
+
+
+def green500_score(machine: MachineSpec | None = None) -> float:
+    """Machine peak Gflop/s per watt at full load (the Green500 metric)."""
+    machine = machine or marconi_a3()
+    params = machine.power
+    pkg = PackagePower(params)
+    dram = DramPower(params)
+    node_power = machine.sockets_per_node * (
+        pkg.package_power(machine.cores_per_socket, 1.0, 1.0,
+                          capacity=machine.cores_per_socket)
+        + dram.domain_power(0.2 * machine.cores_per_socket * 1e9)
+    )
+    return machine.node_peak_flops / node_power / 1e9

@@ -1,0 +1,148 @@
+"""Configuration runner: repetitions → aggregated results.
+
+``run_analytic`` evaluates a configuration at paper scale through the
+analytic model (ten seeded repetitions modelling the changing node sets);
+``run_monitored`` runs the full monitored DES pipeline at validation scale.
+Results are cached per process — the figure builders share many
+configurations.
+"""
+
+from __future__ import annotations
+
+import functools
+import statistics
+from dataclasses import dataclass
+
+from repro.cluster.machine import MachineSpec, marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.core.framework import ExperimentSpec, MonitoringFramework
+from repro.experiments.configs import PAPER_REPETITIONS
+from repro.perfmodel.analytic import analytic_run
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION, Calibration
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """Aggregates over the repetitions of one configuration."""
+
+    algorithm: str
+    n: int
+    ranks: int
+    shape: LoadShape
+    repetitions: int
+    mean_duration: float
+    stdev_duration: float
+    mean_total_j: float
+    mean_package_j: float
+    mean_dram_j: float
+    domain_means_j: dict
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.mean_total_j / self.mean_duration
+
+    @property
+    def dram_power_w(self) -> float:
+        return self.mean_dram_j / self.mean_duration
+
+    def domain_j(self, domain: str) -> float:
+        return self.domain_means_j[domain]
+
+
+@functools.lru_cache(maxsize=4096)
+def _run_analytic_cached(
+    algorithm: str, n: int, ranks: int, shape: LoadShape,
+    repetitions: int, base_seed: int, spread: float, jitter: float,
+    power_cap_w: float | None, calib: Calibration, machine: MachineSpec,
+) -> ConfigResult:
+    runs = [
+        analytic_run(
+            algorithm, n, ranks, shape, machine,
+            calib=calib,
+            seed=base_seed + rep,
+            node_efficiency_spread=spread,
+            fabric_jitter=jitter,
+            power_cap_w=power_cap_w,
+        )
+        for rep in range(repetitions)
+    ]
+    durations = [r.duration for r in runs]
+    domains = sorted({d for r in runs for (_n, d) in r.node_energy_j})
+    domain_means = {
+        d: statistics.fmean(r.domain_energy_j(d) for r in runs)
+        for d in domains
+    }
+    return ConfigResult(
+        algorithm=algorithm,
+        n=n,
+        ranks=ranks,
+        shape=shape,
+        repetitions=repetitions,
+        mean_duration=statistics.fmean(durations),
+        stdev_duration=statistics.stdev(durations) if len(runs) > 1 else 0.0,
+        mean_total_j=statistics.fmean(r.total_energy_j for r in runs),
+        mean_package_j=statistics.fmean(r.package_energy_j for r in runs),
+        mean_dram_j=statistics.fmean(r.dram_energy_j for r in runs),
+        domain_means_j=domain_means,
+    )
+
+
+def run_analytic(
+    algorithm: str,
+    n: int,
+    ranks: int,
+    shape: LoadShape = LoadShape.FULL,
+    machine: MachineSpec | None = None,
+    repetitions: int = PAPER_REPETITIONS,
+    base_seed: int = 0,
+    node_efficiency_spread: float = 0.02,
+    fabric_jitter: float = 0.02,
+    power_cap_w: float | None = None,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> ConfigResult:
+    """Aggregate ``repetitions`` analytic runs of one configuration."""
+    return _run_analytic_cached(
+        algorithm, n, ranks, shape, repetitions, base_seed,
+        node_efficiency_spread, fabric_jitter, power_cap_w, calib,
+        machine if machine is not None else marconi_a3(),
+    )
+
+
+def run_monitored(
+    algorithm: str,
+    system,
+    ranks: int,
+    shape: LoadShape = LoadShape.FULL,
+    machine: MachineSpec | None = None,
+    repetitions: int = 3,
+    profile=None,
+    **spec_kwargs,
+) -> ConfigResult:
+    """Run a configuration through the monitored DES (validation scale)."""
+    spec = ExperimentSpec(
+        algorithm=algorithm,
+        system=system,
+        ranks=ranks,
+        shape=shape,
+        repetitions=repetitions,
+        machine=machine if machine is not None else marconi_a3(),
+        profile=profile,
+        **spec_kwargs,
+    )
+    result = MonitoringFramework().run_experiment(spec)
+    n_sockets = spec.machine.sockets_per_node
+    domains = [f"package-{s}" for s in range(n_sockets)] + \
+              [f"dram-{s}" for s in range(n_sockets)]
+    return ConfigResult(
+        algorithm=algorithm,
+        n=system.n,
+        ranks=ranks,
+        shape=shape,
+        repetitions=repetitions,
+        mean_duration=result.mean_duration,
+        stdev_duration=result.stdev_duration(),
+        mean_total_j=result.mean_total_j,
+        mean_package_j=result.mean_package_j,
+        mean_dram_j=result.mean_dram_j,
+        domain_means_j={d: result.domain_j(d) for d in domains},
+    )

@@ -1,0 +1,92 @@
+"""§5.4-style summary comparison between IMe and ScaLAPACK.
+
+Computes the headline metrics of the paper's summary section:
+
+* total-energy gap (IMe vs ScaLAPACK, relative to IMe) per configuration —
+  "a consistent gap of 50 % to 60 %" at dense deployments;
+* mean-power gap — "the power values of IMe and ScaLAPACK differ by 12 %
+  to 18 %";
+* DRAM-power gap — "even more significant", up to ~42 % at 144 ranks;
+* package-0 vs package-1 energy in half-load one-socket deployments —
+  "the energy consumption of one socket is 50-60 % lower than the other";
+* the duration winner per configuration (the §5.2 crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import MachineSpec, marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.experiments.configs import PAPER_RANKS
+from repro.experiments.runner import run_analytic
+from repro.workloads.generator import PAPER_MATRIX_SIZES
+
+
+def gap(ime_value: float, scal_value: float) -> float:
+    """Relative gap (IMe − ScaLAPACK)/IMe, the paper's convention."""
+    if ime_value == 0:
+        return 0.0
+    return (ime_value - scal_value) / ime_value
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """IMe-vs-ScaLAPACK metrics at one (n, ranks, shape)."""
+
+    n: int
+    ranks: int
+    shape: LoadShape
+    ime_duration: float
+    scal_duration: float
+    energy_gap: float
+    power_gap: float
+    dram_power_gap: float
+
+    @property
+    def time_winner(self) -> str:
+        return "ime" if self.ime_duration < self.scal_duration else "scalapack"
+
+
+def compare(n: int, ranks: int, shape: LoadShape = LoadShape.FULL,
+            machine: MachineSpec | None = None) -> ComparisonPoint:
+    machine = machine or marconi_a3()
+    i = run_analytic("ime", n, ranks, shape, machine)
+    s = run_analytic("scalapack", n, ranks, shape, machine)
+    return ComparisonPoint(
+        n=n,
+        ranks=ranks,
+        shape=shape,
+        ime_duration=i.mean_duration,
+        scal_duration=s.mean_duration,
+        energy_gap=gap(i.mean_total_j, s.mean_total_j),
+        power_gap=gap(i.mean_power_w, s.mean_power_w),
+        dram_power_gap=gap(i.dram_power_w, s.dram_power_w),
+    )
+
+
+def full_grid(machine: MachineSpec | None = None,
+              shape: LoadShape = LoadShape.FULL) -> list[ComparisonPoint]:
+    """All (n, ranks) comparison points for one load shape."""
+    machine = machine or marconi_a3()
+    return [
+        compare(n, ranks, shape, machine)
+        for n in PAPER_MATRIX_SIZES
+        for ranks in PAPER_RANKS
+    ]
+
+
+def socket_asymmetry(algorithm: str, n: int, ranks: int,
+                     machine: MachineSpec | None = None) -> float:
+    """Half-load one-socket deployments: how much less energy the idle
+    socket (package 1) consumes than the loaded one (package 0)."""
+    machine = machine or marconi_a3()
+    r = run_analytic(algorithm, n, ranks, LoadShape.HALF_ONE_SOCKET, machine)
+    pkg0 = r.domain_j("package-0")
+    pkg1 = r.domain_j("package-1")
+    return (pkg0 - pkg1) / pkg0
+
+
+def time_winner_table(machine: MachineSpec | None = None) -> dict:
+    """{(n, ranks): 'ime' | 'scalapack'} for FULL deployments (§5.2)."""
+    return {(p.n, p.ranks): p.time_winner for p in full_grid(machine)}

@@ -1,0 +1,39 @@
+"""Analytic execution mode and machine/solver calibration.
+
+Python cannot execute the paper's 10¹³-flop matrix factorizations, so the
+paper-scale series (n up to 34560 on up to 1296 ranks) are produced by a
+closed-form evaluation of the two solvers' cost models against the same
+machine parameters the discrete-event simulator uses.  The analytic mode is
+cross-validated against numeric-DES runs on overlapping problem sizes (see
+``benchmarks/test_model_crossval.py``); the shared coefficients live in
+:mod:`repro.perfmodel.calibration`.
+"""
+
+from repro.perfmodel.calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    IME_PROFILE,
+    SCALAPACK_PROFILE,
+    profile_for,
+)
+from repro.perfmodel.timeline import NodeTimeline, Segment
+from repro.perfmodel.analytic import (
+    AnalyticResult,
+    analytic_run,
+    ime_analytic,
+    scalapack_analytic,
+)
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "IME_PROFILE",
+    "SCALAPACK_PROFILE",
+    "profile_for",
+    "NodeTimeline",
+    "Segment",
+    "AnalyticResult",
+    "analytic_run",
+    "ime_analytic",
+    "scalapack_analytic",
+]

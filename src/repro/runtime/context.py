@@ -1,0 +1,128 @@
+"""Per-rank execution context.
+
+The context is how solver code interacts with the simulated hardware:
+
+* ``yield from ctx.compute(flops, dram_bytes)`` charges virtual time and
+  energy for a compute segment on the rank's bound core.  The duration
+  follows the rank's :class:`ComputeProfile` (effective flop rate); the
+  package accountant integrates the core's power over the segment and the
+  DRAM accountant is charged for the traffic.  Power caps stretch the
+  segment via the DVFS ratio returned by the RAPL package.
+* ``ctx.papi()`` returns the node-local PAPI library instance (monitoring
+  ranks use it; §4's design has exactly one PAPI user per node).
+
+Compute profiles are per-solver calibration: ScaLAPACK's blocked BLAS-3
+kernels sustain a higher effective flop rate and touch DRAM less per flop
+than IMe's rank-1-update sweeps — the root of the power gap the paper
+measures (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import Core
+from repro.energy.papi import PapiLibrary
+from repro.energy.rapl import RaplNode
+from repro.simmpi.engine import Delay, Now
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """How a rank's computation maps onto time, power, and DRAM traffic."""
+
+    #: sustained useful flop/s of one core running this code
+    eff_flops_per_core: float = 12.0e9
+    #: DRAM bytes moved per useful flop (cache-miss traffic, not loads)
+    dram_bytes_per_flop: float = 0.10
+    #: core floating-point utilization while computing (power model input)
+    flop_util: float = 0.65
+    #: core memory-subsystem utilization while computing
+    mem_util: float = 0.30
+
+    def duration(self, flops: float, freq_ratio: float = 1.0) -> float:
+        if flops < 0:
+            raise ValueError(f"negative flops: {flops}")
+        return flops / (self.eff_flops_per_core * freq_ratio)
+
+
+class RankContext:
+    """One rank's view of the machine (core binding, energy, PAPI)."""
+
+    def __init__(
+        self,
+        rank: int,
+        core: Core,
+        rapl_node: RaplNode,
+        papi: PapiLibrary,
+        profile: ComputeProfile,
+        node_efficiency: float = 1.0,
+    ):
+        if node_efficiency <= 0:
+            raise ValueError(f"node_efficiency must be positive: {node_efficiency}")
+        self.rank = rank
+        self.core = core
+        self.rapl_node = rapl_node
+        self._papi = papi
+        self.profile = profile
+        #: per-repetition node speed factor (the paper's runs landed on
+        #: different node sets each time; this models that variance)
+        self.node_efficiency = node_efficiency
+        self.flops_charged = 0.0
+        self.dram_bytes_charged = 0.0
+        self.compute_seconds = 0.0
+
+    @property
+    def node_id(self) -> int:
+        return self.core.node_id
+
+    @property
+    def socket_id(self) -> int:
+        return self.core.socket_id
+
+    def papi(self) -> PapiLibrary:
+        return self._papi
+
+    # ------------------------------------------------------------- charging
+    def compute(self, flops: float, dram_bytes: float | None = None,
+                profile: ComputeProfile | None = None):
+        """Charge a compute segment (generator; drive with ``yield from``)."""
+        prof = profile if profile is not None else self.profile
+        if dram_bytes is None:
+            dram_bytes = flops * prof.dram_bytes_per_flop
+        if dram_bytes < 0:
+            raise ValueError(f"negative dram_bytes: {dram_bytes}")
+        pkg = self.rapl_node.package(self.core.socket_id)
+        t0 = yield Now()
+        # The job keeps a spin interval open on every allocated core, so a
+        # compute segment charges only the increment above busy-waiting.
+        handle, freq_ratio = pkg.begin_core_activity(
+            prof.flop_util, prof.mem_util, t0, incremental_over_spin=True
+        )
+        dt = prof.duration(flops, freq_ratio) / self.node_efficiency
+        yield Delay(dt)
+        t1 = yield Now()
+        pkg.end_core_activity(handle, t1)
+        pkg.charge_dram_traffic(dram_bytes, t0, t1)
+        self.flops_charged += flops
+        self.dram_bytes_charged += dram_bytes
+        self.compute_seconds += dt
+
+    def elapse(self, seconds: float, active: bool = True,
+               profile: ComputeProfile | None = None):
+        """Charge a fixed-duration segment (busy-wait or fixed-cost phase)."""
+        if seconds < 0:
+            raise ValueError(f"negative duration: {seconds}")
+        if not active:
+            yield Delay(seconds)
+            return
+        prof = profile if profile is not None else self.profile
+        pkg = self.rapl_node.package(self.core.socket_id)
+        t0 = yield Now()
+        handle, _ = pkg.begin_core_activity(
+            prof.flop_util, prof.mem_util, t0, incremental_over_spin=True
+        )
+        yield Delay(seconds)
+        t1 = yield Now()
+        pkg.end_core_activity(handle, t1)
+        self.compute_seconds += seconds

@@ -1,0 +1,174 @@
+"""Cartesian process topologies (``MPI_Cart_create`` and friends).
+
+Grid-structured applications (like the 2D block-cyclic solver) address
+neighbours by coordinates rather than ranks.  ``create_cart`` arranges a
+communicator's ranks in a row-major N-dimensional grid and returns a
+:class:`CartComm` supporting coordinate queries, neighbour ``shift``
+(halo exchanges), and ``sub`` (dimension-collapsing sub-communicators,
+``MPI_Cart_sub``) — all built on the plain communicator operations, so
+their timing emerges from the same fabric model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.simmpi.comm import Communicator
+from repro.simmpi.errors import SimMPIError
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Balanced dimensions whose product is ``nnodes`` (``MPI_Dims_create``).
+
+    Dimensions are as square as possible, in non-increasing order.
+    """
+    if nnodes <= 0 or ndims <= 0:
+        raise SimMPIError(f"bad dims_create inputs: {nnodes}, {ndims}")
+    dims = [1] * ndims
+    remaining = nnodes
+    for i in range(ndims):
+        target = round(remaining ** (1.0 / (ndims - i)))
+        d = max(1, target)
+        while remaining % d:
+            d -= 1
+        dims[i] = d
+        remaining //= d
+    dims.sort(reverse=True)
+    if math.prod(dims) != nnodes:
+        raise SimMPIError(
+            f"cannot factor {nnodes} ranks into {ndims} dimensions"
+        )
+    return dims
+
+
+class CartComm:
+    """A communicator with an attached Cartesian topology."""
+
+    def __init__(self, comm: Communicator, dims: Sequence[int],
+                 periods: Sequence[bool]):
+        self.comm = comm
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+        if len(self.dims) != len(self.periods):
+            raise SimMPIError("dims and periods must have equal length")
+        if math.prod(self.dims) != comm.size:
+            raise SimMPIError(
+                f"grid {self.dims} needs {math.prod(self.dims)} ranks, "
+                f"communicator has {comm.size}"
+            )
+
+    # ---------------------------------------------------------- coordinates
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords(self, rank: int | None = None) -> tuple[int, ...]:
+        """Row-major coordinates of a rank (default: mine)."""
+        r = self.comm.rank if rank is None else rank
+        if not (0 <= r < self.size):
+            raise SimMPIError(f"rank {r} out of range [0, {self.size})")
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at given coordinates (periodic dims wrap; others must fit)."""
+        if len(coords) != self.ndims:
+            raise SimMPIError(
+                f"expected {self.ndims} coordinates, got {len(coords)}"
+            )
+        rank = 0
+        for c, d, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= d
+            elif not (0 <= c < d):
+                raise SimMPIError(
+                    f"coordinate {c} outside non-periodic dimension of {d}"
+                )
+            rank = rank * d + c
+        return rank
+
+    def shift(self, dimension: int, displacement: int = 1
+              ) -> tuple[int | None, int | None]:
+        """(source, destination) ranks for a shift along one dimension.
+
+        ``None`` plays the role of ``MPI_PROC_NULL`` at non-periodic edges.
+        """
+        if not (0 <= dimension < self.ndims):
+            raise SimMPIError(f"dimension {dimension} out of range")
+        me = list(self.coords())
+
+        def neighbour(offset: int) -> int | None:
+            c = list(me)
+            c[dimension] += offset
+            d = self.dims[dimension]
+            if not self.periods[dimension] and not (0 <= c[dimension] < d):
+                return None
+            return self.rank_of(c)
+
+        return neighbour(-displacement), neighbour(+displacement)
+
+    # -------------------------------------------------------- communication
+    def neighbor_exchange(self, payload, dimension: int,
+                          displacement: int = 1, tag: int = 0):
+        """Halo exchange: send toward +displacement, receive from the
+        matching source.  Returns the received payload (or None at a
+        non-periodic edge)."""
+        source, dest = self.shift(dimension, displacement)
+        req = None
+        if dest is not None:
+            req = self.comm.isend(payload, dest=dest, tag=tag)
+        received = None
+        if source is not None:
+            received = yield from self.comm.recv(source=source, tag=tag)
+        if req is not None:
+            yield from req.wait()
+        return received
+
+    def sub(self, remain_dims: Sequence[bool]):
+        """``MPI_Cart_sub``: collapse the dims where ``remain_dims`` is
+        False; returns a :class:`CartComm` over the remaining grid."""
+        if len(remain_dims) != self.ndims:
+            raise SimMPIError("remain_dims must match the grid rank")
+        me = self.coords()
+        color = tuple(c for c, keep in zip(me, remain_dims) if not keep)
+        key = self.rank_of([c if keep else 0
+                            for c, keep in zip(me, remain_dims)])
+        sub_comm = yield from self.comm.split(color=hash(color), key=key)
+        new_dims = [d for d, keep in zip(self.dims, remain_dims) if keep]
+        new_periods = [p for p, keep in zip(self.periods, remain_dims)
+                       if keep]
+        if not new_dims:
+            new_dims, new_periods = [1], [False]
+        return CartComm(sub_comm, new_dims, new_periods)
+
+
+def create_cart(comm: Communicator, dims: Sequence[int] | None = None,
+                periods: Sequence[bool] | None = None,
+                ndims: int = 2):
+    """Build a Cartesian topology over all ranks of ``comm`` (collective).
+
+    With ``dims=None`` a balanced ``ndims``-dimensional grid is chosen via
+    :func:`dims_create`.
+    """
+    if dims is None:
+        dims = dims_create(comm.size, ndims)
+    if periods is None:
+        periods = [False] * len(dims)
+    # Collective agreement on the shape (ranks must pass matching args —
+    # verified here, as MPI would error on mismatch).
+    shapes = yield from comm.allgather((tuple(dims), tuple(periods)))
+    if any(s != shapes[0] for s in shapes):
+        raise SimMPIError(f"inconsistent cart shapes across ranks: {shapes}")
+    return CartComm(comm, dims, periods)

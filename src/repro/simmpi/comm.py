@@ -1,0 +1,628 @@
+"""Communicators, point-to-point messaging, and collectives.
+
+The :class:`World` owns the mailbox fabric shared by every communicator.
+Every blocking operation is a generator to be driven with ``yield from``::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send({"a": 7}, dest=1, tag=11)
+        elif comm.rank == 1:
+            data = yield from comm.recv(source=0, tag=11)
+
+Collectives are implemented *on top of* point-to-point transfers using
+binomial trees (bcast/reduce) and flat fan-in/fan-out (gather/scatter), so
+their virtual-time cost emerges from the same latency/bandwidth model as
+ordinary messages — the log₂(P) critical-path behaviour of real MPI
+collectives is reproduced rather than asserted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.simmpi.datatypes import copy_payload, payload_nbytes
+from repro.simmpi.engine import Delay, Simulator, WaitEvent
+from repro.simmpi.errors import CommMismatchError, SimMPIError
+from repro.simmpi.fabric import Fabric, UniformFabric
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: ``split_type`` constant mirroring ``MPI_COMM_TYPE_SHARED``: group ranks
+#: that share a node (shared-memory domain).
+COMM_TYPE_SHARED = "shared"
+
+_COLL_TAG_BASE = -1000
+
+
+def SUM(a, b):
+    return a + b
+
+
+def PROD(a, b):
+    return a * b
+
+
+def MAX(a, b):
+    return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+
+
+def MIN(a, b):
+    return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+
+
+def _elementwise(op: Callable) -> Callable:
+    """Lift a binary op to element-wise application over equal-length lists."""
+
+    def lifted(a, b):
+        return [op(x, y) for x, y in zip(a, b)]
+
+    return lifted
+
+
+@dataclass
+class _Message:
+    src: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float
+    seq: int
+
+
+@dataclass
+class _PendingRecv:
+    source: int
+    tag: int
+    event: Any  # SimEvent resolved with the matched _Message
+    seq: int
+
+
+class _Mailbox:
+    """Per-(comm, dest) store of arrived messages and posted receives."""
+
+    __slots__ = ("messages", "recvs", "probe_waiters")
+
+    def __init__(self):
+        self.messages: list[_Message] = []
+        self.recvs: list[_PendingRecv] = []
+        self.probe_waiters: list = []
+
+    @staticmethod
+    def _matches(msg: _Message, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or msg.src == source) and (
+            tag == ANY_TAG or msg.tag == tag
+        )
+
+    def deliver(self, msg: _Message) -> None:
+        for i, pending in enumerate(self.recvs):
+            if self._matches(msg, pending.source, pending.tag):
+                del self.recvs[i]
+                pending.event.set(msg)
+                self._wake_probes()
+                return
+        self.messages.append(msg)
+        self._wake_probes()
+
+    def _wake_probes(self) -> None:
+        waiters, self.probe_waiters = self.probe_waiters, []
+        for ev in waiters:
+            ev.set(None)
+
+    def post_recv(self, pending: _PendingRecv) -> None:
+        for i, msg in enumerate(self.messages):
+            if self._matches(msg, pending.source, pending.tag):
+                del self.messages[i]
+                pending.event.set(msg)
+                return
+        self.recvs.append(pending)
+
+
+class Request:
+    """Handle for a non-blocking operation (``isend``/``irecv``)."""
+
+    __slots__ = ("_event", "_post")
+
+    def __init__(self, event, post: Callable[[Any], Any] | None = None):
+        self._event = event
+        self._post = post
+
+    @property
+    def complete(self) -> bool:
+        return self._event.is_set
+
+    def wait(self):
+        """``value = yield from req.wait()`` — block until completion."""
+        value = yield WaitEvent(self._event)
+        if self._post is not None:
+            value = self._post(value)
+        return value
+
+    def test(self):
+        """Non-blocking completion probe; returns ``(done, value_or_None)``."""
+        if not self._event.is_set:
+            return False, None
+        value = self._event.value
+        if self._post is not None:
+            value = self._post(value)
+        return True, value
+
+
+class World:
+    """Shared runtime state: mailboxes, fabric, rank→node map, comm registry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int,
+        fabric: Fabric | None = None,
+        node_of: Callable[[int], int] | None = None,
+        track_traffic: bool = True,
+    ):
+        if size <= 0:
+            raise ValueError(f"world size must be positive, got {size}")
+        self.sim = sim
+        self.size = size
+        self.fabric = fabric if fabric is not None else UniformFabric()
+        self.node_of = node_of if node_of is not None else (lambda rank: 0)
+        self._mailboxes: dict[tuple[int, int], _Mailbox] = {}
+        self._comm_ids = itertools.count()
+        self._split_registry: dict[tuple, dict] = {}
+        self._msg_seq = itertools.count()
+        self.track_traffic = track_traffic
+        #: aggregate traffic statistics (message count / bytes, split by scope)
+        self.stats = TrafficStats()
+
+    def comm_world(self) -> "list[Communicator]":
+        """Build COMM_WORLD: one communicator handle per rank."""
+        cid = next(self._comm_ids)
+        ranks = list(range(self.size))
+        return [
+            Communicator(self, cid, rank=i, group=ranks, parent=None)
+            for i in range(self.size)
+        ]
+
+    def _mailbox(self, cid: int, dst: int) -> _Mailbox:
+        key = (cid, dst)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = self._mailboxes[key] = _Mailbox()
+        return box
+
+
+@dataclass
+class TrafficStats:
+    """Network accounting: the paper reports message counts and volume."""
+
+    messages: int = 0
+    bytes: int = 0
+    inter_node_messages: int = 0
+    inter_node_bytes: int = 0
+
+    def record(self, nbytes: int, inter_node: bool) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        if inter_node:
+            self.inter_node_messages += 1
+            self.inter_node_bytes += nbytes
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "inter_node_messages": self.inter_node_messages,
+            "inter_node_bytes": self.inter_node_bytes,
+        }
+
+
+class Communicator:
+    """One rank's handle on a group of ranks (mirrors ``MPI_Comm``).
+
+    ``rank``/``size`` follow MPI semantics: ``rank`` is this process's index
+    within ``group``; messages address peers by group-local rank.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        cid: int,
+        rank: int,
+        group: list[int],
+        parent: "Communicator | None",
+    ):
+        self.world = world
+        self.cid = cid
+        self.rank = rank
+        self._group = list(group)  # group[i] = world rank of comm rank i
+        self.parent = parent
+        self._coll_seq = 0
+        self._split_seq = 0
+
+    # ------------------------------------------------------------------ info
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    def world_rank(self, rank: int | None = None) -> int:
+        return self._group[self.rank if rank is None else rank]
+
+    def node_of(self, rank: int) -> int:
+        return self.world.node_of(self._group[rank])
+
+    def group(self) -> list[int]:
+        return list(self._group)
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not (0 <= rank < self.size):
+            raise SimMPIError(f"{what} rank {rank} out of range [0, {self.size})")
+
+    # ----------------------------------------------------------------- p2p
+    def isend(self, payload: Any, dest: int, tag: int = 0,
+              nbytes: int | None = None) -> Request:
+        """Post a non-blocking send; the message is buffered eagerly.
+
+        ``nbytes`` overrides the payload's measured size (used by symbolic
+        workloads that ship placeholder buffers with annotated wire sizes).
+        """
+        self._check_rank(dest, "destination")
+        world = self.world
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        src_node = self.node_of(self.rank)
+        dst_node = self.node_of(dest)
+        # Stateful fabrics (NIC injection queues) schedule the arrival
+        # themselves; plain fabrics expose only a transfer time.
+        schedule = getattr(world.fabric, "transfer_schedule", None)
+        if schedule is not None:
+            arrival = schedule(size, src_node, dst_node, world.sim.now)
+        else:
+            arrival = world.sim.now + world.fabric.transfer_time(
+                size, src_node, dst_node
+            )
+        if world.track_traffic:
+            world.stats.record(size, src_node != dst_node)
+        msg = _Message(
+            src=self.rank,
+            tag=tag,
+            payload=copy_payload(payload),
+            nbytes=size,
+            arrival=arrival,
+            seq=next(world._msg_seq),
+        )
+        box = world._mailbox(self.cid, dest)
+        world.sim.call_at(msg.arrival, box.deliver, msg)
+        done = world.sim.event(name=f"isend:{self.cid}:{self.rank}->{dest}")
+        # Eager protocol: the send completes once the CPU overhead elapses.
+        world.sim.call_at(
+            world.sim.now + world.fabric.cpu_overhead(size), done.set, None
+        )
+        return Request(done)
+
+    def send(self, payload: Any, dest: int, tag: int = 0,
+             nbytes: int | None = None):
+        """Blocking send (eager): returns after the CPU send overhead."""
+        req = self.isend(payload, dest, tag=tag, nbytes=nbytes)
+        yield from req.wait()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Post a non-blocking receive; ``wait()`` returns the payload."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        world = self.world
+        ev = world.sim.event(name=f"irecv:{self.cid}:{self.rank}")
+        box = world._mailbox(self.cid, self.rank)
+        box.post_recv(_PendingRecv(source=source, tag=tag, event=ev,
+                                   seq=next(world._msg_seq)))
+        return Request(ev, post=lambda msg: msg.payload)
+
+    def sendrecv(self, payload: Any, dest: int, source: int = ANY_SOURCE,
+                 sendtag: int = 0, recvtag: int = ANY_TAG):
+        """Combined send+receive (deadlock-free pairwise exchange)."""
+        req = self.isend(payload, dest, tag=sendtag)
+        received = yield from self.recv(source=source, tag=recvtag)
+        yield from req.wait()
+        return received
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking probe: wait until a matching message has arrived and
+        return its envelope ``{"source", "tag", "nbytes"}`` without
+        consuming it."""
+        world = self.world
+        box = world._mailbox(self.cid, self.rank)
+        while True:
+            info = self.iprobe(source=source, tag=tag)
+            if info is not None:
+                return info
+            # Wait for the next delivery to this mailbox.
+            ev = world.sim.event(name=f"probe:{self.cid}:{self.rank}")
+            box.probe_waiters.append(ev)
+            yield WaitEvent(ev)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Non-blocking probe; returns the envelope or ``None``."""
+        box = self.world._mailbox(self.cid, self.rank)
+        for msg in box.messages:
+            if _Mailbox._matches(msg, source, tag):
+                return {"source": msg.src, "tag": msg.tag,
+                        "nbytes": msg.nbytes}
+        return None
+
+    @staticmethod
+    def waitall(requests: list[Request]):
+        """Complete every request; returns their values in order."""
+        out = []
+        for req in requests:
+            value = yield from req.wait()
+            out.append(value)
+        return out
+
+    def waitany(self, requests: list[Request]):
+        """Return ``(index, value)`` of the first completed request."""
+        if not requests:
+            raise SimMPIError("waitany on an empty request list")
+        for i, req in enumerate(requests):
+            done, value = req.test()
+            if done:
+                return i, value
+        # Merge the pending completion events into one.
+        merged = self.world.sim.event(name=f"waitany:{self.cid}:{self.rank}")
+
+        def _notify(_value):
+            if not merged.is_set:
+                merged.set(None)
+
+        for req in requests:
+            req._event.add_callback(_notify)
+        yield WaitEvent(merged)
+        for i, req in enumerate(requests):
+            done, value = req.test()
+            if done:
+                return i, value
+        raise SimMPIError("waitany woke without a completed request")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             with_status: bool = False):
+        """Blocking receive; returns the payload (or ``(payload, status)``)."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        world = self.world
+        ev = world.sim.event(name=f"recv:{self.cid}:{self.rank}")
+        box = world._mailbox(self.cid, self.rank)
+        box.post_recv(_PendingRecv(source=source, tag=tag, event=ev,
+                                   seq=next(world._msg_seq)))
+        msg: _Message = yield WaitEvent(ev)
+        overhead = world.fabric.cpu_overhead(msg.nbytes)
+        if overhead > 0:
+            yield Delay(overhead)
+        if with_status:
+            return msg.payload, {"source": msg.src, "tag": msg.tag,
+                                 "nbytes": msg.nbytes}
+        return msg.payload
+
+    # ----------------------------------------------------------- collectives
+    def _next_coll_tag(self) -> int:
+        """Collective calls consume one internal tag, in program order.
+
+        All ranks of a communicator execute the same sequence of collectives
+        (an MPI requirement), so the per-rank counter yields matching tags.
+        """
+        self._coll_seq += 1
+        return _COLL_TAG_BASE - self._coll_seq
+
+    @staticmethod
+    def _binomial_parent_children(vrank: int, size: int) -> tuple[int | None, list[int]]:
+        """Binomial-tree neighbours for a virtual rank (root = 0)."""
+        parent = None
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                parent = vrank - mask
+                break
+            mask <<= 1
+        # Children are vrank + m for every power of two m below the bit that
+        # links vrank to its parent (MPICH's binomial broadcast schedule).
+        children = []
+        mask >>= 1
+        while mask > 0:
+            child = vrank + mask
+            if child < size:
+                children.append(child)
+            mask >>= 1
+        return parent, children
+
+    def bcast(self, payload: Any, root: int = 0, nbytes: int | None = None):
+        """Binomial-tree broadcast; every rank returns the payload."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        size = self.size
+        if size == 1:
+            return copy_payload(payload)
+        vrank = (self.rank - root) % size
+        parent, children = self._binomial_parent_children(vrank, size)
+        if parent is not None:
+            payload = yield from self.recv(source=(parent + root) % size, tag=tag)
+        data_bytes = nbytes
+        for child in children:
+            yield from self.send(payload, dest=(child + root) % size, tag=tag,
+                                 nbytes=data_bytes)
+        return payload
+
+    def gather(self, payload: Any, root: int = 0):
+        """Binomial-tree gather to root (MPICH's short-message schedule).
+
+        Intermediate ranks aggregate their subtree's contributions and
+        forward them upward, so the critical path is log₂(P) transfers.
+        Root returns the rank-ordered list; everyone else returns None.
+        """
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        size = self.size
+        acc: dict[int, Any] = {self.rank: copy_payload(payload)}
+        if size == 1:
+            return [acc[self.rank]]
+        vrank = (self.rank - root) % size
+        parent, children = self._binomial_parent_children(vrank, size)
+        for child in sorted(children, reverse=True):
+            part = yield from self.recv(source=(child + root) % size, tag=tag)
+            acc.update(part)
+        if parent is not None:
+            yield from self.send(acc, dest=(parent + root) % size, tag=tag)
+            return None
+        return [acc[r] for r in range(size)]
+
+    def scatter(self, payloads: list | None, root: int = 0):
+        """Flat scatter from root; every rank returns its element."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise CommMismatchError(
+                    f"scatter root needs {self.size} payloads, got "
+                    f"{None if payloads is None else len(payloads)}"
+                )
+            mine = copy_payload(payloads[root])
+            for dst in range(self.size):
+                if dst != root:
+                    yield from self.send(payloads[dst], dest=dst, tag=tag)
+            return mine
+        item = yield from self.recv(source=root, tag=tag)
+        return item
+
+    def reduce(self, payload: Any, op: Callable = SUM, root: int = 0):
+        """Binomial-tree reduction to root (op must be associative)."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        size = self.size
+        acc = copy_payload(payload)
+        if size == 1:
+            return acc
+        vrank = (self.rank - root) % size
+        parent, children = self._binomial_parent_children(vrank, size)
+        # Children are combined deepest-first so every rank receives from all
+        # of its binomial children before forwarding to its parent.
+        for child in sorted(children, reverse=True):
+            item = yield from self.recv(source=(child + root) % size, tag=tag)
+            acc = op(acc, item)
+        if parent is not None:
+            yield from self.send(acc, dest=(parent + root) % size, tag=tag)
+            return None
+        return acc
+
+    def allreduce(self, payload: Any, op: Callable = SUM):
+        acc = yield from self.reduce(payload, op=op, root=0)
+        acc = yield from self.bcast(acc, root=0)
+        return acc
+
+    def allgather(self, payload: Any):
+        gathered = yield from self.gather(payload, root=0)
+        gathered = yield from self.bcast(gathered, root=0)
+        return gathered
+
+    def gatherv(self, payload: Any, root: int = 0):
+        """Variable-size gather: like :meth:`gather` (payloads may differ
+        arbitrarily in size/shape per rank)."""
+        out = yield from self.gather(payload, root=root)
+        return out
+
+    def scatterv(self, payloads: list | None, root: int = 0):
+        """Variable-size scatter (per-rank payloads of any size)."""
+        out = yield from self.scatter(payloads, root=root)
+        return out
+
+    def reduce_scatter(self, payloads: list, op: Callable = SUM):
+        """Element-wise reduce over the per-destination payload lists, then
+        scatter: rank ``i`` receives ``op``-reduction of every rank's
+        ``payloads[i]``."""
+        if len(payloads) != self.size:
+            raise CommMismatchError(
+                f"reduce_scatter needs {self.size} payloads, got "
+                f"{len(payloads)}"
+            )
+        reduced = yield from self.reduce(payloads, op=_elementwise(op), root=0)
+        mine = yield from self.scatter(reduced, root=0)
+        return mine
+
+    def scan(self, payload: Any, op: Callable = SUM):
+        """Inclusive prefix reduction: rank i gets op(v₀, …, vᵢ)."""
+        gathered = yield from self.allgather(payload)
+        acc = copy_payload(gathered[0])
+        for item in gathered[1:self.rank + 1]:
+            acc = op(acc, item)
+        return acc
+
+    def alltoall(self, payloads: list):
+        """Pairwise exchange; returns the list indexed by source rank."""
+        if len(payloads) != self.size:
+            raise CommMismatchError(
+                f"alltoall needs {self.size} payloads, got {len(payloads)}"
+            )
+        tag = self._next_coll_tag()
+        out: list[Any] = [None] * self.size
+        out[self.rank] = copy_payload(payloads[self.rank])
+        reqs = []
+        for dst in range(self.size):
+            if dst != self.rank:
+                reqs.append(self.isend(payloads[dst], dest=dst, tag=tag))
+        for _ in range(self.size - 1):
+            item, status = yield from self.recv(tag=tag, with_status=True)
+            out[status["source"]] = item
+        for req in reqs:
+            yield from req.wait()
+        return out
+
+    def barrier(self):
+        """Synchronize all ranks (reduce + bcast of an empty token)."""
+        token = yield from self.reduce(0, op=SUM, root=0)
+        yield from self.bcast(token, root=0)
+
+    # ----------------------------------------------------------------- split
+    def split(self, color: int, key: int | None = None) -> "Iterable":
+        """Split into sub-communicators by color, ordered by (key, rank).
+
+        Mirrors ``MPI_Comm_split``.  Returns the new communicator handle for
+        this rank (``None`` if ``color`` is ``None``, the analogue of
+        ``MPI_UNDEFINED``).
+        """
+        if key is None:
+            key = self.rank
+        entries = yield from self.allgather((color, key, self.rank))
+        self._split_seq += 1
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        group = [self._group[r] for (_k, r) in members]
+        new_rank = [r for (_k, r) in members].index(self.rank)
+        reg_key = (self.cid, self._split_seq, color)
+        shared = self.world._split_registry.get(reg_key)
+        if shared is None:
+            shared = {"cid": next(self.world._comm_ids)}
+            self.world._split_registry[reg_key] = shared
+        return Communicator(
+            self.world, shared["cid"], rank=new_rank, group=group, parent=self
+        )
+
+    def split_type(self, split_type: str = COMM_TYPE_SHARED,
+                   key: int | None = None):
+        """``MPI_Comm_split_type``: group ranks sharing a node.
+
+        This is the primitive the paper's monitoring framework uses to build
+        per-node communicators (``MPI_COMM_TYPE_SHARED``).
+        """
+        if split_type != COMM_TYPE_SHARED:
+            raise SimMPIError(f"unsupported split type: {split_type!r}")
+        color = self.node_of(self.rank)
+        comm = yield from self.split(color=color, key=key)
+        return comm
+
+    def dup(self):
+        """Duplicate the communicator (collective)."""
+        comm = yield from self.split(color=0, key=self.rank)
+        return comm
+
+    def __repr__(self) -> str:
+        return (f"<Communicator cid={self.cid} rank={self.rank}/{self.size}>")

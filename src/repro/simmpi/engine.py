@@ -1,0 +1,256 @@
+"""Deterministic discrete-event engine driving simulated rank programs.
+
+The engine owns a virtual clock and a priority queue of scheduled callbacks.
+Rank programs (and any helper coroutine) are plain Python generators that
+``yield`` *system calls*:
+
+``Delay(dt)``
+    Suspend the process for ``dt`` seconds of virtual time (this is how
+    computation time is charged).
+``Now()``
+    Resume immediately with the current virtual time as the sent value.
+``WaitEvent(ev)``
+    Block until ``ev.set(value)`` is called; resumes with ``value``.
+
+Composite operations (message passing, collectives, monitoring) are generator
+functions delegated to with ``yield from``, so the engine only ever sees the
+three primitives above.  Determinism is guaranteed by a monotonically
+increasing sequence number that breaks ties between events scheduled at the
+same virtual time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.simmpi.errors import DeadlockError
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Primitive syscall: advance this process ``dt`` seconds of virtual time."""
+
+    dt: float
+
+    def __post_init__(self):
+        if self.dt < 0:
+            raise ValueError(f"negative delay: {self.dt}")
+
+
+@dataclass(frozen=True)
+class Now:
+    """Primitive syscall: resume immediately with the current virtual time."""
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Primitive syscall: block until the event fires."""
+
+    event: "SimEvent"
+
+
+class SimEvent:
+    """A one-shot event that processes can block on.
+
+    ``set(value)`` wakes every waiter with ``value``.  Setting an event twice
+    is an error; waiting on an already-set event resumes immediately.
+    """
+
+    __slots__ = ("_sim", "_value", "_is_set", "_waiters", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self._value: Any = None
+        self._is_set = False
+        self._waiters: list[Process] = []
+        self._callbacks: list[Callable] = []
+        self.name = name
+
+    @property
+    def is_set(self) -> bool:
+        return self._is_set
+
+    @property
+    def value(self) -> Any:
+        if not self._is_set:
+            raise RuntimeError(f"event {self.name!r} read before set")
+        return self._value
+
+    def set(self, value: Any = None) -> None:
+        if self._is_set:
+            raise RuntimeError(f"event {self.name!r} set twice")
+        self._is_set = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim._schedule(0.0, proc._step, value)
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._sim._schedule(0.0, fn, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._is_set:
+            self._sim._schedule(0.0, proc._step, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def add_callback(self, fn: Callable) -> None:
+        """Invoke ``fn(value)`` when the event fires (immediately if set)."""
+        if self._is_set:
+            self._sim._schedule(0.0, fn, self._value)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "set" if self._is_set else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Process:
+    """A running generator registered with the simulator."""
+
+    __slots__ = ("sim", "gen", "name", "done", "result", "error", "_blocked_on",
+                 "finished_event", "finish_time")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._blocked_on: str = "start"
+        self.finished_event = SimEvent(sim, name=f"finish:{name}")
+        self.finish_time: float | None = None
+
+    def _step(self, send_value: Any = None) -> None:
+        """Advance the generator one syscall and dispatch it."""
+        self._blocked_on = "running"
+        try:
+            syscall = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self.finish_time = self.sim.now
+            self.sim._live_processes.discard(self)
+            self.finished_event.set(stop.value)
+            return
+        except BaseException as exc:
+            self.done = True
+            self.error = exc
+            self.sim._live_processes.discard(self)
+            self.sim._fail(self, exc)
+            return
+
+        if isinstance(syscall, Delay):
+            self._blocked_on = f"delay({syscall.dt:g})"
+            self.sim._schedule(syscall.dt, self._step, None)
+        elif isinstance(syscall, Now):
+            self._step(self.sim.now)
+        elif isinstance(syscall, WaitEvent):
+            self._blocked_on = f"wait({syscall.event.name})"
+            syscall.event._add_waiter(self)
+        else:
+            err = TypeError(
+                f"process {self.name!r} yielded a non-syscall {syscall!r}; "
+                "composite operations must be delegated with 'yield from'"
+            )
+            self.done = True
+            self.error = err
+            self.sim._live_processes.discard(self)
+            self.sim._fail(self, err)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else self._blocked_on
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The deterministic event loop and virtual clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._seq = 0
+        self._live_processes: set[Process] = set()
+        self._failure: tuple[Process, BaseException] | None = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def _schedule(self, delay: float, fn: Callable, arg: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, arg))
+
+    def call_at(self, time: float, fn: Callable, arg: Any = None) -> None:
+        """Schedule a raw callback at an absolute virtual time."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        self._schedule(time - self._now, fn, arg)
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        proc = Process(self, gen, name)
+        self._live_processes.add(proc)
+        self._schedule(0.0, proc._step, None)
+        return proc
+
+    def _fail(self, proc: Process, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = (proc, exc)
+
+    def run(self, until: float | None = None) -> float:
+        """Run the event loop to quiescence (or virtual time ``until``).
+
+        Returns the final virtual time.  Raises the first process failure,
+        or :class:`DeadlockError` if processes remain blocked with no
+        pending events.
+        """
+        while self._heap:
+            if self._failure is not None:
+                proc, exc = self._failure
+                raise exc
+            time, _seq, fn, arg = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                heapq.heappush(self._heap, (time, _seq, fn, arg))
+                self._now = until
+                return self._now
+            self._now = time
+            fn(arg)
+        if self._failure is not None:
+            proc, exc = self._failure
+            raise exc
+        blocked = [p for p in self._live_processes if not p.done]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self._now
+
+    def run_all(self, gens: Iterable[tuple[str, Generator]],
+                until: float | None = None) -> dict[str, Any]:
+        """Spawn the named generators, run to completion, return results."""
+        procs = {name: self.spawn(gen, name=name) for name, gen in gens}
+        self.run(until=until)
+        return {name: proc.result for name, proc in procs.items()}
+
+
+def sleep(dt: float):
+    """Convenience coroutine: ``yield from sleep(dt)``."""
+    yield Delay(dt)
+
+
+def now():
+    """Convenience coroutine: ``t = yield from now()``."""
+    t = yield Now()
+    return t
+
+
+def wait(event: SimEvent):
+    """Convenience coroutine: ``value = yield from wait(ev)``."""
+    value = yield WaitEvent(event)
+    return value

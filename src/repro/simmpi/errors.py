@@ -1,0 +1,31 @@
+"""Error types raised by the simulated MPI runtime."""
+
+
+class SimMPIError(Exception):
+    """Base class for all simulated-MPI errors."""
+
+
+class RankAbort(SimMPIError):
+    """A rank program aborted (the analogue of ``MPI_Abort``)."""
+
+    def __init__(self, rank: int, reason: str = ""):
+        self.rank = rank
+        self.reason = reason
+        super().__init__(f"rank {rank} aborted: {reason}")
+
+
+class CommMismatchError(SimMPIError):
+    """A collective was invoked inconsistently across the communicator."""
+
+
+class TruncationError(SimMPIError):
+    """A receive buffer was too small for the matched message."""
+
+
+class DeadlockError(SimMPIError):
+    """The event loop ran out of events while processes were still blocked."""
+
+    def __init__(self, blocked: list):
+        self.blocked = list(blocked)
+        names = ", ".join(str(p) for p in self.blocked)
+        super().__init__(f"simulation deadlocked; blocked processes: [{names}]")

@@ -1,0 +1,61 @@
+"""Interconnect timing models used by the simulated MPI runtime.
+
+A *fabric* answers two questions for a message of ``nbytes`` between two
+ranks: how long the sending/receiving CPU is busy (overhead, charged to the
+calling rank as virtual compute time) and when the message lands in the
+destination mailbox (latency + serialization).  The cluster package supplies
+a topology-aware fabric (intra-node shared memory vs. inter-node OmniPath);
+this module provides the protocol plus a uniform fabric for standalone use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class Fabric(Protocol):
+    """Timing interface consumed by :class:`repro.simmpi.comm.World`."""
+
+    def cpu_overhead(self, nbytes: int) -> float:
+        """Seconds of CPU time charged to each endpoint of a transfer."""
+        ...
+
+    def transfer_time(self, nbytes: int, src_node: int, dst_node: int) -> float:
+        """Seconds from send to mailbox arrival."""
+        ...
+
+
+@dataclass(frozen=True)
+class UniformFabric:
+    """A flat network: one latency/bandwidth pair for every rank pair.
+
+    Suitable defaults approximate a commodity RDMA network.  ``self_time``
+    covers rank-to-self transfers (a memcpy).
+    """
+
+    latency: float = 1.5e-6
+    bandwidth: float = 12.5e9  # bytes/s (100 Gbit/s)
+    intra_latency: float = 4.0e-7
+    intra_bandwidth: float = 30.0e9  # shared-memory copy rate
+    overhead: float = 0.4e-6
+    overhead_per_byte: float = 2.0e-11
+
+    def cpu_overhead(self, nbytes: int) -> float:
+        return self.overhead + self.overhead_per_byte * nbytes
+
+    def transfer_time(self, nbytes: int, src_node: int, dst_node: int) -> float:
+        if src_node == dst_node:
+            return self.intra_latency + nbytes / self.intra_bandwidth
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class ZeroFabric:
+    """A fabric with no cost at all — for pure-logic unit tests."""
+
+    def cpu_overhead(self, nbytes: int) -> float:
+        return 0.0
+
+    def transfer_time(self, nbytes: int, src_node: int, dst_node: int) -> float:
+        return 0.0

@@ -1,0 +1,103 @@
+"""Sequential reference solvers and accuracy metrics.
+
+These are the ground truth the simulated parallel solvers are validated
+against.  ``gaussian_elimination`` is the textbook algorithm ScaLAPACK
+parallelizes (row reduction with partial pivoting, 2/3·n³ + O(n²) flops);
+``gauss_jordan`` is the full-elimination variant IMe's table reduction is
+related to.  Both are written with vectorized row operations (per the
+project's performance guides) but clarity wins over speed here — the
+parallel implementations carry the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SingularMatrixError(ValueError):
+    """The elimination hit a (numerically) zero pivot."""
+
+
+def _check_system(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"coefficient matrix must be square, got {a.shape}")
+    if b.shape != (a.shape[0],):
+        raise ValueError(
+            f"rhs shape {b.shape} incompatible with matrix {a.shape}"
+        )
+    return a, b
+
+
+def gaussian_elimination(a: np.ndarray, b: np.ndarray,
+                         pivoting: bool = True) -> np.ndarray:
+    """Solve ``a @ x = b`` by row reduction with partial pivoting.
+
+    Partial pivoting (§2.2): swap rows so the diagonal element is the
+    largest in its column, guarding against the numerical instability of
+    small pivots.
+    """
+    a, b = _check_system(a, b)
+    n = a.shape[0]
+    a = a.copy()
+    b = b.copy()
+    for k in range(n - 1):
+        if pivoting:
+            p = k + int(np.argmax(np.abs(a[k:, k])))
+            if p != k:
+                a[[k, p]] = a[[p, k]]
+                b[[k, p]] = b[[p, k]]
+        pivot = a[k, k]
+        if pivot == 0.0:
+            raise SingularMatrixError(f"zero pivot at column {k}")
+        m = a[k + 1:, k] / pivot
+        a[k + 1:, k:] -= np.outer(m, a[k, k:])
+        b[k + 1:] -= m * b[k]
+    if a[n - 1, n - 1] == 0.0:
+        raise SingularMatrixError(f"zero pivot at column {n - 1}")
+    # Back substitution.
+    x = np.empty(n)
+    for k in range(n - 1, -1, -1):
+        x[k] = (b[k] - a[k, k + 1:] @ x[k + 1:]) / a[k, k]
+    return x
+
+
+def gauss_jordan(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve by full (Jordan) elimination without pivoting.
+
+    Requires a matrix with nonzero leading pivots (e.g. diagonally
+    dominant) — the same applicability condition as the pivot-free IMe.
+    """
+    a, b = _check_system(a, b)
+    n = a.shape[0]
+    aug = np.concatenate([a.copy(), b[:, None].copy()], axis=1)
+    for k in range(n):
+        pivot = aug[k, k]
+        if pivot == 0.0:
+            raise SingularMatrixError(f"zero pivot at column {k}")
+        aug[k] /= pivot
+        rows = np.arange(n) != k
+        aug[rows] -= np.outer(aug[rows, k], aug[k])
+    return aug[:, n]
+
+
+def ge_flops(n: int) -> float:
+    """Arithmetic complexity of Gaussian Elimination: 2/3·n³ + O(n²) (§2)."""
+    return (2.0 / 3.0) * n ** 3 + 2.0 * n ** 2
+
+
+def residual_norm(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """‖a·x − b‖₂."""
+    return float(np.linalg.norm(np.asarray(a) @ np.asarray(x) - np.asarray(b)))
+
+
+def relative_residual(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """‖a·x − b‖ / (‖a‖·‖x‖ + ‖b‖): scale-free accuracy check."""
+    a = np.asarray(a)
+    x = np.asarray(x)
+    b = np.asarray(b)
+    denom = np.linalg.norm(a) * np.linalg.norm(x) + np.linalg.norm(b)
+    if denom == 0.0:
+        return 0.0
+    return residual_norm(a, x, b) / denom

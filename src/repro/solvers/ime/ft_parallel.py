@@ -1,0 +1,254 @@
+"""Fault-tolerant parallel IMe: surviving a rank failure mid-solve.
+
+§2 motivates IMe with its "integrated low-cost multiple fault tolerance,
+which is more efficient than the checkpoint/restart technique usually
+applied in Gaussian Elimination" (Artioli/Loreti/Ciampolini, SRDS'19;
+Loreti et al., SRDS'20).  This module reproduces that capability in the
+simulated-MPI setting, end to end:
+
+* the table's data columns are distributed cyclically over the first
+  ``N−1`` ranks; the **last rank is the checksum rank**, carrying ``c``
+  weighted-sum columns (seeded Gaussian weights, regenerable locally by
+  every rank — recovery needs no weight communication);
+* every level applies the standard fundamental-formula update to data
+  *and* checksum columns, the checksums with the closed-form
+  normalization correction (see :mod:`repro.solvers.ime.fault`), so the
+  invariant ``C = Σ_j w_j · col_j`` holds exactly at every level;
+* a **failure** of a data rank at a chosen level is injected as in real
+  resilient MPI: the failed rank drops out, the survivors *shrink* the
+  communicator (ULFM-style, via ``comm.split``) and run the recovery
+  protocol — each survivor reduces its weighted column sums to the
+  checksum rank, which solves the k×k weighted system and ships the
+  reconstructed columns to the master, who **adopts** them (and their h
+  entries, which its auxiliary-quantity replica already holds);
+* the reduction then continues on the shrunk communicator with the
+  remapped column ownership, finishing to the exact solution with **no
+  restart and no checkpoint I/O**.
+
+The failure level and victim are parameters (a deterministic simulation
+has no spontaneous faults); ``fail_rank`` must be a slave data rank — the
+master's h replica and the checksum rank are single points the SRDS
+design protects by replication, out of scope here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.dense import SingularMatrixError
+from repro.solvers.ime.fault import FaultRecoveryError
+
+
+@dataclass(frozen=True)
+class FtOptions:
+    """Fault-tolerant run parameters."""
+
+    n_checksums: int = 2
+    weight_seed: int = 7
+    #: inject a failure of this data rank ... (None = fault-free run)
+    fail_rank: int | None = None
+    #: ... immediately before this level
+    fail_level: int = 0
+    charge_compute: bool = True
+
+    def __post_init__(self):
+        if self.n_checksums < 1:
+            raise ValueError(
+                f"need at least one checksum column: {self.n_checksums}"
+            )
+        if self.fail_rank is not None and self.fail_rank == 0:
+            raise ValueError("the master (rank 0) cannot be the victim: its "
+                             "h replica is required for recovery")
+
+
+def _data_columns(n: int, n_data_ranks: int, rank: int) -> np.ndarray:
+    return np.arange(rank, n, n_data_ranks)
+
+
+def _weights(n: int, c: int, seed: int) -> np.ndarray:
+    """The checksum weights — regenerated locally by every rank."""
+    return np.random.default_rng(seed).normal(size=(c, n))
+
+
+def ime_ft_parallel_program(ctx, comm, system=None,
+                            options: FtOptions | None = None):
+    """Rank program: fault-tolerant IMeP.
+
+    World layout: ranks ``0 .. size−2`` hold data columns (rank 0 is the
+    master), rank ``size−1`` is the checksum rank.  Returns the solution
+    on the master, plus a small recovery report; other ranks return None
+    (the failed rank returns the string ``"failed"``).
+    """
+    opts = options or FtOptions()
+    rank, size = comm.rank, comm.size
+    if size < 3:
+        raise ValueError("fault-tolerant IMeP needs ≥ 3 ranks "
+                         "(master + ≥1 slave + checksum rank)")
+    n_data = size - 1
+    cs_rank = size - 1
+    master = 0
+    if opts.fail_rank is not None and not (0 < opts.fail_rank < cs_rank):
+        raise ValueError(
+            f"fail_rank must be a slave data rank in (0, {cs_rank})"
+        )
+
+    # ----------------------------------------------------------- INITIME
+    if rank == master:
+        if system is None:
+            raise ValueError("the master rank needs the input system")
+        a = np.asarray(system.a, dtype=np.float64)
+        b = np.asarray(system.b, dtype=np.float64)
+        n = a.shape[0]
+        d = np.diag(a).copy()
+        if np.any(d == 0.0):
+            raise SingularMatrixError("IMe requires nonzero diagonal entries")
+        right = a.T / d[:, None]
+        weights = _weights(n, opts.n_checksums, opts.weight_seed)
+        shards = [
+            (n, right[:, _data_columns(n, n_data, r)].copy(),
+             b[_data_columns(n, n_data, r)].copy())
+            for r in range(n_data)
+        ]
+        # The checksum rank receives C = R Wᵀ and the h checksums.
+        shards.append((n, right @ weights.T, weights @ b))
+        h_master = b.copy()
+    else:
+        shards = None
+    n, local_cols, h_local = yield from comm.scatter(shards, root=master)
+    weights = _weights(n, opts.n_checksums, opts.weight_seed)
+
+    is_checksum_rank = rank == cs_rank
+    if is_checksum_rank:
+        owned: np.ndarray = np.array([], dtype=np.int64)
+    else:
+        owned = _data_columns(n, n_data, rank)
+
+    #: global column -> owning world rank, kept identical on all ranks
+    owner_of = np.arange(n, dtype=np.int64) % n_data
+    alive = comm
+    failed = False
+    recovery_report = None
+
+    def local_index(g: int) -> int:
+        return int(np.searchsorted(owned, g))
+
+    fail_at = opts.fail_level if opts.fail_rank is not None else None
+
+    for level in range(n):
+        # ------------------------------------------------ failure + shrink
+        if fail_at is not None and level == fail_at:
+            if rank == opts.fail_rank:
+                # The victim drops out; survivors shrink the communicator.
+                yield from alive.split(color=None)
+                return "failed"
+            alive = yield from alive.split(color=0, key=alive.rank)
+
+            # -------------------------------------------------- recovery
+            lost = _data_columns(n, n_data, opts.fail_rank)
+            k = len(lost)
+            if k > opts.n_checksums:
+                raise FaultRecoveryError(
+                    f"{k} columns lost but only {opts.n_checksums} "
+                    "checksum columns configured"
+                )
+            # Each survivor reduces Σ_{j owned} w_ij·col_j to the checksum
+            # rank (now the last rank of the shrunk communicator).
+            if is_checksum_rank:
+                partial = np.zeros((opts.n_checksums, n))
+            else:
+                partial = np.einsum("cj,rj->cr", weights[:, owned],
+                                    local_cols)
+            cs_alive_rank = alive.size - 1
+            total = yield from alive.reduce(partial, root=cs_alive_rank)
+            if is_checksum_rank:
+                rhs = local_cols.T - total          # (c, n): C − survivors
+                v = weights[:, lost]                 # (c, k)
+                if k == opts.n_checksums:
+                    recovered = np.linalg.solve(v, rhs)      # (k, n)
+                else:
+                    recovered, *_ = np.linalg.lstsq(v, rhs, rcond=None)
+                yield from alive.send(recovered.T.copy(), dest=0, tag=99)
+            if rank == master:
+                recovered_cols = yield from alive.recv(source=cs_alive_rank,
+                                                       tag=99)
+                # Adopt the lost columns (and their h entries, which the
+                # master's replica already tracks).
+                merged_cols = np.concatenate([owned, lost])
+                order = np.argsort(merged_cols)
+                owned = merged_cols[order]
+                local_cols = np.concatenate(
+                    [local_cols, recovered_cols], axis=1
+                )[:, order]
+                h_local = np.concatenate(
+                    [h_local, h_master[lost]]
+                )[order]
+            owner_of[lost] = master
+            recovery_report = {"lost_columns": len(lost),
+                               "recovered_at_level": level}
+            fail_at = None
+
+        # ----------------------------------------------- one level (as IMeP)
+        m_local = (local_cols[level, :].copy() if not is_checksum_rank
+                   else np.array([]))
+        gathered = yield from alive.gather(m_local, root=master)
+
+        if alive.rank == 0:  # master (world rank 0 keeps alive-rank 0)
+            m_full = np.empty(n)
+            for r, shard in enumerate(gathered):
+                src_world = alive.group()[r]
+                if src_world == cs_rank or len(shard) == 0:
+                    continue
+                cols = np.nonzero(owner_of == src_world)[0]
+                m_full[cols] = shard
+            p = m_full[level]
+            if p == 0.0:
+                raise SingularMatrixError(
+                    f"zero inhibition pivot at level {level}"
+                )
+            hl = h_master[level] / p
+            m_masked = m_full.copy()
+            m_masked[level] = 0.0
+            h_master -= m_masked * hl
+            h_master[level] = hl
+            aux = (hl, p)
+        else:
+            aux = None
+        hl, p = yield from alive.bcast(aux, root=0)
+
+        owner_world = int(owner_of[level])
+        owner_alive = alive.group().index(owner_world)
+        if rank == owner_world:
+            lcol = local_index(level)
+            chat = local_cols[level:, lcol] / p
+        else:
+            chat = None
+        chat = yield from alive.bcast(chat, root=owner_alive)
+
+        if is_checksum_rank:
+            m_cs = local_cols[level, :].copy()
+            local_cols[level:, :] -= np.outer(chat, m_cs)
+            local_cols[level:, :] += np.outer(chat, weights[:, level])
+            h_local -= m_cs * hl
+            h_local += weights[:, level] * hl
+        else:
+            m_update = m_local.copy()
+            if rank == owner_world:
+                m_update[local_index(level)] = 0.0
+            local_cols[level:, :] -= np.outer(chat, m_update)
+            if rank == owner_world:
+                local_cols[level:, local_index(level)] = chat
+            h_local -= m_update * hl
+            if rank == owner_world:
+                h_local[local_index(level)] = hl
+
+        if opts.charge_compute:
+            extra = opts.n_checksums if is_checksum_rank else 0
+            yield from ctx.compute(
+                flops=3.0 * n * (n - level) / n_data + 2.0 * extra * (n - level)
+            )
+
+    if rank == master:
+        return h_master / d, recovery_report
+    return None

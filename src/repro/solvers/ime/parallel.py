@@ -1,0 +1,161 @@
+"""IMeP: the column-wise parallel Inhibition Method (§2.1).
+
+The inhibition table is distributed **column-wise** (the scheme the paper
+selects for its fault-tolerance fit), cyclically over the N ranks for load
+balance.  Rank 0 is the *master*, the others are *slaves*.  Every level
+``l`` performs exactly the message pattern §2.1 describes:
+
+1. every rank sends the row-``l`` entries of its columns to the master —
+   "only the n elements of the last row which result modified … must be
+   sent to the master";
+2. the master advances the auxiliary quantities ``h`` and **broadcasts**
+   the level's auxiliary pair ``(ĥ_l, p)`` — "at every level it is also
+   necessary to broadcast from the master to the slaves h";
+3. the rank owning column ``l`` (table column ``n+l``) normalizes it and
+   **broadcasts** it to all ranks — "the node in charge of the computation
+   of the last column t∗,n+l should broadcast it to all the other nodes";
+4. every rank inhibits row ``l`` from its own columns (a local, vectorized
+   rank-1 update over the shrinking active window) and advances its local
+   ``h`` shard with the broadcast ``ĥ_l``.
+
+At the end the master reads the solution off its replica of ``h``
+(``xᵢ = hᵢ/aᵢᵢ``); the distributed shards reproduce the same values (a
+consistency property the tests check).
+
+Compute time/energy is charged per level through the rank context, using
+the *published* IMe complexity (3/2·n³ total, decaying linearly across
+levels) so the performance model reflects the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.dense import SingularMatrixError
+
+
+@dataclass(frozen=True)
+class ImeOptions:
+    """Tunables of the parallel run."""
+
+    #: charge compute time/energy through the rank context
+    charge_compute: bool = True
+    #: also return the rank-local h shard (testing/validation hook)
+    return_shards: bool = False
+    #: broadcast the final solution to all ranks instead of master-only
+    broadcast_solution: bool = False
+
+
+def _owned_columns(n: int, size: int, rank: int) -> np.ndarray:
+    """Cyclic column distribution: rank owns columns rank, rank+N, …"""
+    return np.arange(rank, n, size)
+
+
+def _level_flops_per_rank(n: int, level: int, size: int) -> float:
+    """Published per-level cost: Σ_l 3n(n−l) = 3/2·n³, split over N ranks."""
+    return 3.0 * n * (n - level) / size
+
+
+def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = None):
+    """Rank program solving ``system`` with IMeP.  Drive under a Job.
+
+    ``system`` (a :class:`~repro.workloads.generator.LinearSystem`) needs to
+    be supplied on the master only; slaves receive their table shards over
+    the simulated network during INITIME.
+    """
+    opts = options or ImeOptions()
+    rank = comm.rank
+    size = comm.size
+    master = 0
+
+    # ----------------------------------------------------------- INITIME
+    if rank == master:
+        if system is None:
+            raise ValueError("the master rank needs the input system")
+        a = np.asarray(system.a, dtype=np.float64)
+        b = np.asarray(system.b, dtype=np.float64)
+        n = a.shape[0]
+        d = np.diag(a).copy()
+        if np.any(d == 0.0):
+            raise SingularMatrixError("IMe requires nonzero diagonal entries")
+        right = a.T / d[:, None]          # R[i, j] = a_{j,i} / a_{i,i}
+        shards = [
+            (n, right[:, _owned_columns(n, size, r)].copy(),
+             b[_owned_columns(n, size, r)].copy())
+            for r in range(size)
+        ]
+        h_master = b.copy()
+    else:
+        shards = None
+
+    n, r_local, h_local = yield from comm.scatter(shards, root=master)
+    mine = _owned_columns(n, size, rank)
+    n_local = len(mine)
+    # Map global column -> local index for the columns this rank owns.
+    local_of = {int(g): i for i, g in enumerate(mine)}
+
+    if rank == master and opts.charge_compute:
+        # INITIME scaling of the table: n² divisions.
+        yield from ctx.compute(flops=float(n) * n, dram_bytes=8.0 * n * n)
+
+    # ------------------------------------------------------------ levels
+    for level in range(n):
+        # (1) row-l entries of the owned columns go to the master.
+        m_local = r_local[level, :].copy()
+        gathered = yield from comm.gather(m_local, root=master)
+
+        # (2) master advances its h replica and broadcasts (ĥ_l, p).
+        if rank == master:
+            m_full = np.empty(n)
+            for r, shard in enumerate(gathered):
+                m_full[_owned_columns(n, size, r)] = shard
+            p = m_full[level]
+            if p == 0.0:
+                raise SingularMatrixError(f"zero inhibition pivot at level {level}")
+            hl = h_master[level] / p
+            m_masked = m_full.copy()
+            m_masked[level] = 0.0
+            h_master -= m_masked * hl
+            h_master[level] = hl
+            aux = (hl, p)
+        else:
+            aux = None
+        hl, p = yield from comm.bcast(aux, root=master)
+
+        # (3) the owner of table column n+l broadcasts its normalized
+        #     active part to everyone.
+        owner = level % size
+        if rank == owner:
+            lcol = local_of[level]
+            chat = r_local[level:, lcol] / p
+        else:
+            chat = None
+        chat = yield from comm.bcast(chat, root=owner)
+
+        # (4) local inhibition of row `level` over the active window.
+        m_update = m_local.copy()
+        if rank == owner:
+            m_update[local_of[level]] = 0.0
+        r_local[level:, :] -= np.outer(chat, m_update)
+        if rank == owner:
+            r_local[level:, local_of[level]] = chat
+        h_local -= m_local * hl
+        if rank == owner:
+            h_local[local_of[level]] = hl
+
+        if opts.charge_compute:
+            flops = _level_flops_per_rank(n, level, size)
+            yield from ctx.compute(flops=flops)
+
+    # ------------------------------------------------------------- epilogue
+    if rank == master:
+        x = h_master / d
+    else:
+        x = None
+    if opts.broadcast_solution:
+        x = yield from comm.bcast(x, root=master)
+    if opts.return_shards:
+        return x, (mine, h_local)
+    return x

@@ -1,0 +1,36 @@
+"""Gaussian Elimination over a 2D block-cyclic layout (ScaLAPACK model).
+
+Reimplements the pieces of ScaLAPACK the paper benchmarks (§2.2):
+
+* ``grid`` — a BLACS-like 2D process grid;
+* ``blockcyclic`` — the block-cyclic data distribution (``numroc`` and the
+  global↔local index maps);
+* ``pdgesv`` — right-looking LU factorization with partial pivoting plus
+  the distributed triangular solves, as simulated-MPI rank programs;
+* ``costmodel`` — the canonical communication/computation cost model of
+  block-cyclic LU for the analytic mode.
+"""
+
+from repro.solvers.scalapack.grid import ProcessGrid
+from repro.solvers.scalapack.blockcyclic import (
+    numroc,
+    owner_of,
+    local_index,
+    global_indices,
+)
+from repro.solvers.scalapack.pdgesv import (
+    ScalapackOptions,
+    pdgesv_program,
+)
+from repro.solvers.scalapack.costmodel import ScalapackCostModel
+
+__all__ = [
+    "ProcessGrid",
+    "numroc",
+    "owner_of",
+    "local_index",
+    "global_indices",
+    "ScalapackOptions",
+    "pdgesv_program",
+    "ScalapackCostModel",
+]

@@ -1,0 +1,76 @@
+"""The block-cyclic data distribution.
+
+ScaLAPACK's layout (§2.2: "a block cyclic data distribution for dense
+matrices … which can be parametrized at runtime"): global index ``g`` with
+block size ``nb`` over ``p`` processes lives in block ``g // nb``, on
+process ``(g // nb) % p``, at local block ``g // (nb·p)``.  These helpers
+are the 1D primitives; 2D layouts apply them independently to rows and
+columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(nb: int, nprocs: int) -> None:
+    if nb <= 0:
+        raise ValueError(f"block size must be positive: {nb}")
+    if nprocs <= 0:
+        raise ValueError(f"process count must be positive: {nprocs}")
+
+
+def numroc(n: int, nb: int, iproc: int, nprocs: int) -> int:
+    """NUMber of Rows Or Columns: local extent of a global dimension.
+
+    The classic ScaLAPACK TOOLS routine (zero source offset).
+    """
+    _check(nb, nprocs)
+    if n < 0:
+        raise ValueError(f"dimension must be non-negative: {n}")
+    if not (0 <= iproc < nprocs):
+        raise ValueError(f"process {iproc} out of range [0,{nprocs})")
+    nblocks = n // nb
+    extra = n - nblocks * nb
+    base = (nblocks // nprocs) * nb
+    rem = nblocks % nprocs
+    if iproc < rem:
+        return base + nb
+    if iproc == rem:
+        return base + extra
+    return base
+
+
+def owner_of(g: int, nb: int, nprocs: int) -> int:
+    """Process owning global index ``g``."""
+    _check(nb, nprocs)
+    if g < 0:
+        raise ValueError(f"negative global index: {g}")
+    return (g // nb) % nprocs
+
+
+def local_index(g: int, nb: int, nprocs: int) -> int:
+    """Local index of global index ``g`` on its owning process."""
+    _check(nb, nprocs)
+    if g < 0:
+        raise ValueError(f"negative global index: {g}")
+    local_block = g // (nb * nprocs)
+    return local_block * nb + g % nb
+
+
+def global_index(l: int, nb: int, iproc: int, nprocs: int) -> int:
+    """Global index of local index ``l`` on process ``iproc``."""
+    _check(nb, nprocs)
+    if l < 0:
+        raise ValueError(f"negative local index: {l}")
+    local_block = l // nb
+    return (local_block * nprocs + iproc) * nb + l % nb
+
+
+def global_indices(n: int, nb: int, iproc: int, nprocs: int) -> np.ndarray:
+    """All global indices owned by ``iproc``, in local storage order."""
+    _check(nb, nprocs)
+    out = []
+    for block_start in range(iproc * nb, n, nb * nprocs):
+        out.extend(range(block_start, min(block_start + nb, n)))
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,55 @@
+"""BLACS-like process grid.
+
+ScaLAPACK arranges the P processes in a Pr×Pc rectangle (row-major).  The
+grid shape drives both load balance and the communication pattern: pivot
+searches travel down process *columns*, panel broadcasts across process
+*rows*.  ``ProcessGrid.squarest`` picks the most square factorization of P,
+which is ScaLAPACK's standard recommendation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A Pr×Pc row-major process grid."""
+
+    nprow: int
+    npcol: int
+
+    def __post_init__(self):
+        if self.nprow <= 0 or self.npcol <= 0:
+            raise ValueError(f"grid must be positive: {self.nprow}x{self.npcol}")
+
+    @property
+    def size(self) -> int:
+        return self.nprow * self.npcol
+
+    @classmethod
+    def squarest(cls, nprocs: int) -> "ProcessGrid":
+        """Most square Pr×Pc with Pr·Pc = nprocs and Pr ≤ Pc."""
+        if nprocs <= 0:
+            raise ValueError(f"process count must be positive: {nprocs}")
+        pr = int(math.isqrt(nprocs))
+        while nprocs % pr:
+            pr -= 1
+        return cls(nprow=pr, npcol=nprocs // pr)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """(myrow, mycol) of a rank (row-major numbering)."""
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} outside grid of {self.size}")
+        return divmod(rank, self.npcol)
+
+    def rank_of(self, myrow: int, mycol: int) -> int:
+        if not (0 <= myrow < self.nprow and 0 <= mycol < self.npcol):
+            raise ValueError(
+                f"coords ({myrow},{mycol}) outside {self.nprow}x{self.npcol}"
+            )
+        return myrow * self.npcol + mycol
+
+    def __str__(self) -> str:
+        return f"{self.nprow}x{self.npcol}"

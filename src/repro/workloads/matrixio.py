@@ -1,0 +1,50 @@
+"""File-backed linear systems.
+
+§5.1: "The input linear system is not generated at runtime but loaded from
+a file to ensure consistent input data for repetitive measurements."  The
+format is a single ``.npz`` with the matrix in **contiguous form** (also a
+§5.1 parameter: contiguous allocation "enhances processing speed … and
+consecutive memory block reads").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.generator import LinearSystem
+
+_FORMAT_VERSION = 1
+
+
+def save_system(system: LinearSystem, path: str | Path) -> Path:
+    """Persist a system; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path,
+        a=np.ascontiguousarray(system.a),
+        b=np.ascontiguousarray(system.b),
+        seed=np.int64(system.seed),
+        version=np.int64(_FORMAT_VERSION),
+    )
+    # np.savez appends .npz if missing; normalize the return value.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_system(path: str | Path) -> LinearSystem:
+    """Load a system saved by :func:`save_system`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported system file version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        a = np.ascontiguousarray(data["a"])
+        b = np.ascontiguousarray(data["b"])
+        seed = int(data["seed"])
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or b.shape != (a.shape[0],):
+        raise ValueError(f"corrupt system file: shapes {a.shape}, {b.shape}")
+    return LinearSystem(a=a, b=b, seed=seed)

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "144" in out and "1296" in out
+    assert "24 24" in out and "24 0" in out and "12 12" in out
+
+
+@pytest.mark.parametrize("number", ["3", "5", "7"])
+def test_figures(number, capsys):
+    assert main(["figure", number]) == 0
+    out = capsys.readouterr().out
+    assert f"figure{number}" in out
+    assert "ime" in out and "scalapack" in out
+
+
+def test_figure_rejects_unknown_number():
+    with pytest.raises(SystemExit):
+        main(["figure", "9"])
+
+
+def test_summary(capsys):
+    assert main(["summary"]) == 0
+    out = capsys.readouterr().out
+    assert "winner" in out
+    assert out.count("\n") >= 13  # header + 12 grid rows
+
+
+def test_compare(capsys):
+    assert main(["compare", "-n", "17280", "-r", "144"]) == 0
+    out = capsys.readouterr().out
+    assert "ime" in out and "scalapack" in out
+    assert "faster: ScaLAPACK" in out
+
+
+def test_compare_distributed_point(capsys):
+    assert main(["compare", "-n", "8640", "-r", "1296"]) == 0
+    assert "faster: IMe" in capsys.readouterr().out
+
+
+def test_compare_with_cap(capsys):
+    assert main(["compare", "-n", "17280", "-r", "144", "--cap", "80"]) == 0
+    assert "gaps" in capsys.readouterr().out
+
+
+def test_compare_shape_option(capsys):
+    assert main(["compare", "-n", "8640", "-r", "144",
+                 "--shape", "half-1socket"]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["compare", "-n", "8640", "-r", "144", "--shape", "diagonal"])
+
+
+def test_powercap(capsys):
+    assert main(["powercap", "-n", "17280", "-r", "144",
+                 "--caps", "100", "80"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ime") >= 3  # header-less rows: none + 2 caps
+
+
+def test_solve(tmp_path, capsys):
+    assert main(["solve", "-n", "24", "-r", "8", "--repetitions", "2",
+                 "--output", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "residual" in out
+    assert "node 0" in out and "node 1" in out
+    assert list(tmp_path.glob("*.txt"))
+
+
+def test_solve_rejects_paper_scale(capsys):
+    assert main(["solve", "-n", "8640"]) == 2
+    assert "n <= 600" in capsys.readouterr().err
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_figure_csv_export(tmp_path, capsys):
+    out_csv = tmp_path / "fig5.csv"
+    assert main(["figure", "5", "--csv", str(out_csv)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    lines = out_csv.read_text().splitlines()
+    assert lines[0].startswith("algorithm,series,x")
+    assert len(lines) == 25  # header + 24 data points

@@ -1,0 +1,161 @@
+"""Tests for reference solvers, workload generation, and matrix I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.dense import (
+    SingularMatrixError,
+    gauss_jordan,
+    gaussian_elimination,
+    ge_flops,
+    relative_residual,
+    residual_norm,
+)
+from repro.workloads.generator import (
+    PAPER_MATRIX_SIZES,
+    LinearSystem,
+    generate_system,
+)
+from repro.workloads.matrixio import load_system, save_system
+
+
+# ------------------------------------------------------------- dense solvers
+@pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+def test_gaussian_elimination_matches_numpy(n):
+    s = generate_system(n, seed=n)
+    x = gaussian_elimination(s.a, s.b)
+    np.testing.assert_allclose(x, np.linalg.solve(s.a, s.b), atol=1e-10)
+
+
+def test_gaussian_elimination_pivoting_handles_zero_leading_pivot():
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])
+    b = np.array([2.0, 3.0])
+    x = gaussian_elimination(a, b)
+    np.testing.assert_allclose(x, [3.0, 2.0])
+
+
+def test_gaussian_elimination_without_pivoting_fails_on_zero_pivot():
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])
+    with pytest.raises(SingularMatrixError):
+        gaussian_elimination(a, np.array([1.0, 1.0]), pivoting=False)
+
+
+def test_gaussian_elimination_singular_matrix():
+    a = np.array([[1.0, 2.0], [2.0, 4.0]])
+    with pytest.raises(SingularMatrixError):
+        gaussian_elimination(a, np.array([1.0, 1.0]))
+
+
+def test_gaussian_elimination_input_validation():
+    with pytest.raises(ValueError, match="square"):
+        gaussian_elimination(np.zeros((2, 3)), np.zeros(2))
+    with pytest.raises(ValueError, match="incompatible"):
+        gaussian_elimination(np.eye(3), np.zeros(2))
+
+
+def test_gaussian_elimination_does_not_mutate_inputs():
+    s = generate_system(10, seed=1)
+    a0, b0 = s.a.copy(), s.b.copy()
+    gaussian_elimination(s.a, s.b)
+    np.testing.assert_array_equal(s.a, a0)
+    np.testing.assert_array_equal(s.b, b0)
+
+
+@pytest.mark.parametrize("n", [1, 2, 10, 40])
+def test_gauss_jordan_matches_numpy(n):
+    s = generate_system(n, seed=n + 100)
+    x = gauss_jordan(s.a, s.b)
+    np.testing.assert_allclose(x, np.linalg.solve(s.a, s.b), atol=1e-10)
+
+
+def test_ge_flops_leading_term():
+    assert ge_flops(1000) / 1000 ** 3 == pytest.approx(2.0 / 3.0, rel=0.01)
+
+
+def test_residual_metrics():
+    s = generate_system(8, seed=3)
+    x = np.linalg.solve(s.a, s.b)
+    assert residual_norm(s.a, x, s.b) < 1e-10
+    assert relative_residual(s.a, x, s.b) < 1e-12
+    bad = x + 1.0
+    assert relative_residual(s.a, bad, s.b) > 1e-6
+
+
+# ---------------------------------------------------------------- generator
+def test_paper_matrix_sizes():
+    assert PAPER_MATRIX_SIZES == (8640, 17280, 25920, 34560)
+    # The paper's sizes are multiples of each rank count's square root grid;
+    # at minimum they divide evenly by 144-rank deployments' 48 cores.
+    assert all(n % 48 == 0 for n in PAPER_MATRIX_SIZES)
+
+
+@pytest.mark.parametrize("n", [1, 2, 7, 64])
+def test_generated_system_is_strictly_diagonally_dominant(n):
+    s = generate_system(n, seed=5)
+    off = np.abs(s.a).sum(axis=1) - np.abs(np.diag(s.a))
+    assert np.all(np.abs(np.diag(s.a)) > off)
+
+
+def test_generation_is_seeded():
+    assert generate_system(16, seed=9) == generate_system(16, seed=9)
+    assert generate_system(16, seed=9) != generate_system(16, seed=10)
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        generate_system(0)
+    with pytest.raises(ValueError):
+        generate_system(4, dominance=0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=1, max_value=40),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_property_generated_systems_are_solvable(n, seed):
+    s = generate_system(n, seed=seed)
+    x = np.linalg.solve(s.a, s.b)
+    assert relative_residual(s.a, x, s.b) < 1e-10
+
+
+# ---------------------------------------------------------------------- I/O
+def test_save_load_roundtrip(tmp_path):
+    s = generate_system(12, seed=4)
+    path = save_system(s, tmp_path / "system.npz")
+    loaded = load_system(path)
+    assert loaded == s
+    assert loaded.a.flags["C_CONTIGUOUS"]  # contiguous form (§5.1)
+
+
+def test_save_appends_npz_suffix(tmp_path):
+    s = generate_system(4, seed=1)
+    path = save_system(s, tmp_path / "sys")
+    assert path.suffix == ".npz"
+    assert load_system(path) == s
+
+
+def test_load_rejects_bad_version(tmp_path):
+    s = generate_system(4, seed=1)
+    path = tmp_path / "sys.npz"
+    np.savez(path, a=s.a, b=s.b, seed=np.int64(0), version=np.int64(99))
+    with pytest.raises(ValueError, match="version"):
+        load_system(path)
+
+
+def test_load_rejects_corrupt_shapes(tmp_path):
+    path = tmp_path / "sys.npz"
+    np.savez(path, a=np.zeros((2, 3)), b=np.zeros(2), seed=np.int64(0),
+             version=np.int64(1))
+    with pytest.raises(ValueError, match="corrupt"):
+        load_system(path)
+
+
+def test_repeated_loads_are_identical(tmp_path):
+    """§5.1: file-backed input guarantees identical data across repetitions."""
+    s = generate_system(10, seed=2)
+    path = save_system(s, tmp_path / "input.npz")
+    first = load_system(path)
+    second = load_system(path)
+    np.testing.assert_array_equal(first.a, second.a)
+    np.testing.assert_array_equal(first.b, second.b)

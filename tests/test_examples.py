@@ -1,0 +1,25 @@
+"""Every example must run end to end (they are part of the public surface)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3  # deliverable: at least three runnable demos
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_cleanly(path, capsys):
+    module = runpy.run_path(str(path), run_name="not_main")
+    assert "main" in module, f"{path.stem} must expose main()"
+    module["main"]()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} printed nothing"

@@ -1,0 +1,212 @@
+"""Tests for the experiments layer: configs, runner, figures, summary.
+
+These tests pin the *shapes* the reproduction must exhibit (the paper's
+qualitative findings); the benchmark harness regenerates the full series.
+"""
+
+import pytest
+
+from repro.cluster.machine import marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.experiments.configs import (
+    ALGORITHMS,
+    PAPER_RANKS,
+    PAPER_REPETITIONS,
+    Configuration,
+    EvaluationGrid,
+)
+from repro.experiments.runner import run_analytic
+from repro.experiments.summary import (
+    compare,
+    gap,
+    socket_asymmetry,
+    time_winner_table,
+)
+from repro.workloads.generator import PAPER_MATRIX_SIZES
+
+MACHINE = marconi_a3()
+
+#: fewer repetitions in unit tests; benches use the paper's ten
+REPS = 3
+
+
+def quick(algorithm, n, ranks, shape=LoadShape.FULL, **kw):
+    return run_analytic(algorithm, n, ranks, shape, MACHINE,
+                        repetitions=REPS, **kw)
+
+
+# ------------------------------------------------------------------- configs
+def test_grid_size_matches_paper():
+    grid = EvaluationGrid()
+    # 2 algorithms × 4 matrix sizes × 3 rank counts × 3 shapes = 72 jobs.
+    assert len(grid) == 72
+    assert len(list(grid)) == 72
+    assert grid.repetitions == PAPER_REPETITIONS == 10
+
+
+def test_table1_rows_match_paper():
+    rows = EvaluationGrid().table1_rows()
+    assert len(rows) == 9
+    by_key = {(r["ranks"], r["shape"]): r for r in rows}
+    assert by_key[(144, "full")]["nodes"] == 3
+    assert by_key[(144, "half-1socket")]["nodes"] == 6
+    assert by_key[(576, "full")]["nodes"] == 12
+    assert by_key[(1296, "half-2sockets")]["nodes"] == 54
+    assert by_key[(1296, "half-2sockets")]["ranks_per_socket"] == (12, 12)
+
+
+def test_configuration_description():
+    c = Configuration("ime", 8640, 144, LoadShape.FULL)
+    desc = c.describe(MACHINE)
+    assert "ime" in desc and "8640" in desc and "3 nodes" in desc
+
+
+# -------------------------------------------------------------------- runner
+def test_runner_aggregates_repetitions():
+    r = quick("ime", 8640, 144)
+    assert r.repetitions == REPS
+    assert r.mean_duration > 0
+    assert r.stdev_duration > 0  # node-set variance is on by default
+    assert r.mean_total_j == pytest.approx(
+        r.mean_package_j + r.mean_dram_j, rel=1e-9
+    )
+    assert set(r.domain_means_j) == {
+        "package-0", "package-1", "dram-0", "dram-1"
+    }
+
+
+def test_runner_results_are_cached_and_deterministic():
+    a = quick("ime", 8640, 144)
+    b = quick("ime", 8640, 144)
+    assert a is b  # lru-cached
+    c = run_analytic("ime", 8640, 144, LoadShape.FULL, MACHINE,
+                     repetitions=REPS, base_seed=99)
+    assert c.mean_duration != a.mean_duration
+
+
+# ----------------------------------------------------- paper-shape assertions
+def test_energy_and_time_increase_with_matrix_dimension():
+    """Fig. 4: energy and duration grow with n, superlinearly for energy."""
+    for algorithm in ALGORITHMS:
+        prev = None
+        for n in PAPER_MATRIX_SIZES:
+            r = quick(algorithm, n, 144)
+            if prev is not None:
+                assert r.mean_duration > prev.mean_duration
+                assert r.mean_total_j > prev.mean_total_j
+            prev = r
+        # Superlinear (the paper calls it "exponential-looking"): 4× the
+        # dimension costs far more than 4× the energy at fixed ranks.
+        first = quick(algorithm, PAPER_MATRIX_SIZES[0], 144)
+        last = quick(algorithm, PAPER_MATRIX_SIZES[-1], 144)
+        dim_ratio = PAPER_MATRIX_SIZES[-1] / PAPER_MATRIX_SIZES[0]
+        assert last.mean_total_j / first.mean_total_j > 2 * dim_ratio
+
+
+def test_strong_scalability_of_duration():
+    """Fig. 5: duration decreases as ranks grow, for every matrix size
+    (clearly for the large ones)."""
+    for algorithm in ALGORITHMS:
+        for n in PAPER_MATRIX_SIZES[1:]:
+            durations = [quick(algorithm, n, r).mean_duration
+                         for r in PAPER_RANKS]
+            assert durations[0] > durations[1] > durations[2]
+
+
+def test_full_load_consumes_less_energy_than_half_load():
+    """Fig. 3 / §5.3: 48 ranks/node beats 24 ranks/node on energy."""
+    for algorithm in ALGORITHMS:
+        for n in (8640, 34560):
+            full = quick(algorithm, n, 144, LoadShape.FULL)
+            half1 = quick(algorithm, n, 144, LoadShape.HALF_ONE_SOCKET)
+            half2 = quick(algorithm, n, 144, LoadShape.HALF_TWO_SOCKETS)
+            assert full.mean_total_j < half1.mean_total_j
+            assert full.mean_total_j < half2.mean_total_j
+
+
+def test_one_socket_vs_two_socket_half_loads_are_similar():
+    """§5.3: the two 24-rank/node shapes are nearly indistinguishable."""
+    for algorithm in ALGORITHMS:
+        half1 = quick(algorithm, 17280, 576, LoadShape.HALF_ONE_SOCKET)
+        half2 = quick(algorithm, 17280, 576, LoadShape.HALF_TWO_SOCKETS)
+        assert half1.mean_total_j == pytest.approx(
+            half2.mean_total_j, rel=0.10
+        )
+
+
+def test_scalapack_wins_dense_ime_wins_distributed():
+    """§5.2 crossover: ScaLAPACK faster in dense computations, IMe faster
+    in the most distributed small-matrix deployments."""
+    winners = time_winner_table(MACHINE)
+    # IMe's wins (paper: 576/1296 ranks at n = 8640, 17280).
+    assert winners[(8640, 576)] == "ime"
+    assert winners[(8640, 1296)] == "ime"
+    assert winners[(17280, 1296)] == "ime"
+    # ScaLAPACK's clear wins: every 144-rank deployment and all large n.
+    for n in PAPER_MATRIX_SIZES:
+        assert winners[(n, 144)] == "scalapack"
+    for ranks in PAPER_RANKS:
+        assert winners[(25920, ranks)] == "scalapack"
+        assert winners[(34560, ranks)] == "scalapack"
+
+
+def test_energy_gap_50_to_60_percent_in_dense_configs():
+    """§5.4: ScaLAPACK consumes less energy, gap ≈ 50–60 % when dense."""
+    for n in (25920, 34560):
+        p = compare(n, 144, machine=MACHINE)
+        assert 0.45 <= p.energy_gap <= 0.62
+
+
+def test_energy_gap_narrows_with_more_ranks_and_smaller_matrices():
+    """§5.4: the gap decreases with more ranks and smaller dimensions."""
+    dense = compare(34560, 144, machine=MACHINE)
+    mid = compare(17280, 576, machine=MACHINE)
+    distributed = compare(8640, 1296, machine=MACHINE)
+    assert dense.energy_gap > mid.energy_gap > distributed.energy_gap
+
+
+def test_power_gap_12_to_18_percent():
+    """Fig. 6 / §5.4: IMe draws 12–18 % more power at dense deployments."""
+    for n in (17280, 25920, 34560):
+        p = compare(n, 144, machine=MACHINE)
+        assert 0.11 <= p.power_gap <= 0.19
+
+
+def test_dram_power_gap_larger_and_peaks_at_144_ranks():
+    """§5.4: the DRAM-power gap is larger than the total-power gap and is
+    widest at 144 ranks."""
+    for n in (17280, 34560):
+        p144 = compare(n, 144, machine=MACHINE)
+        p1296 = compare(n, 1296, machine=MACHINE)
+        assert p144.dram_power_gap > p144.power_gap
+        assert p144.dram_power_gap > p1296.dram_power_gap
+        assert p144.dram_power_gap >= 0.40
+
+
+def test_power_flat_in_matrix_dimension_fixed_ranks():
+    """Fig. 6: power is nearly constant across matrix dimensions."""
+    for algorithm in ALGORITHMS:
+        powers = [quick(algorithm, n, 144).mean_power_w
+                  for n in PAPER_MATRIX_SIZES[1:]]
+        assert max(powers) / min(powers) < 1.10
+
+
+def test_power_proportional_to_ranks_fixed_matrix():
+    """Fig. 7: power grows roughly proportionally with deployed ranks."""
+    for algorithm in ALGORITHMS:
+        p = {r: quick(algorithm, 34560, r).mean_power_w for r in PAPER_RANKS}
+        assert p[576] / p[144] == pytest.approx(4.0, rel=0.30)
+        assert p[1296] / p[576] == pytest.approx(2.25, rel=0.30)
+
+
+def test_idle_socket_consumes_50_to_60_percent_less():
+    """§5.3: in one-socket deployments the 'empty' socket still burns
+    substantial power — 50–60 % less than the loaded one."""
+    for algorithm in ALGORITHMS:
+        asym = socket_asymmetry(algorithm, 34560, 144, MACHINE)
+        assert 0.45 <= asym <= 0.70
+
+
+def test_gap_helper():
+    assert gap(100.0, 40.0) == pytest.approx(0.6)
+    assert gap(0.0, 10.0) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cluster.machine import marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.experiments.export import (
+    config_result_to_dict,
+    figure_to_rows,
+    load_results_json,
+    write_figure_csv,
+    write_results_json,
+)
+from repro.experiments.figures import figure5
+from repro.experiments.runner import run_analytic
+
+MACHINE = marconi_a3()
+
+
+def test_figure_to_rows_flattens_nested_series():
+    data = figure5(MACHINE)
+    rows = figure_to_rows(data, value_keys=("energy_j", "duration_s"))
+    # 2 algorithms × 4 matrix sizes × 3 rank counts.
+    assert len(rows) == 24
+    assert {r["algorithm"] for r in rows} == {"ime", "scalapack"}
+    assert all("energy_j" in r and "duration_s" in r for r in rows)
+
+
+def test_figure_to_rows_scalar_values():
+    rows = figure_to_rows({"a": {"s": {1: 2.0}}})
+    assert rows == [{"algorithm": "a", "series": "s", "x": 1, "value": 2.0}]
+    with pytest.raises(ValueError, match="lacks"):
+        figure_to_rows({"a": {"s": {1: 2.0}}}, value_keys=("power_w",))
+
+
+def test_write_figure_csv(tmp_path):
+    path = write_figure_csv(figure5(MACHINE), tmp_path / "fig5.csv")
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 24
+    assert float(rows[0]["energy_j"]) > 0
+    with pytest.raises(ValueError, match="empty"):
+        write_figure_csv({}, tmp_path / "empty.csv")
+
+
+def test_results_json_roundtrip(tmp_path):
+    results = [
+        run_analytic(alg, 8640, 144, LoadShape.FULL, MACHINE, repetitions=2)
+        for alg in ("ime", "scalapack")
+    ]
+    path = write_results_json(results, tmp_path / "out.json",
+                              metadata={"machine": MACHINE.name})
+    meta, loaded = load_results_json(path)
+    assert meta == {"machine": "marconi-a3"}
+    assert len(loaded) == 2
+    assert loaded[0]["algorithm"] == "ime"
+    assert loaded[0]["mean_total_j"] == pytest.approx(
+        results[0].mean_total_j
+    )
+    assert set(loaded[0]["domains_j"]) == {
+        "package-0", "package-1", "dram-0", "dram-1"
+    }
+
+
+def test_load_rejects_non_result_files(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ValueError, match="not a results file"):
+        load_results_json(path)
+
+
+def test_config_result_dict_is_json_serializable():
+    r = run_analytic("ime", 8640, 144, LoadShape.FULL, MACHINE,
+                     repetitions=2)
+    json.dumps(config_result_to_dict(r))  # must not raise

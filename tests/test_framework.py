@@ -1,0 +1,141 @@
+"""Tests for the testing framework: monitored experiments with repetitions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape
+from repro.core.framework import (
+    ExperimentResult,
+    ExperimentSpec,
+    MonitoringFramework,
+    RunRecord,
+)
+from repro.workloads.generator import generate_system
+
+
+from repro.perfmodel.calibration import profile_for
+
+
+def slow_profile(algorithm):
+    """Calibrated profile slowed ~10⁵× so that tiny test systems span many
+    1 ms MSR update ticks (real runs last seconds; n=12 lasts microseconds
+    at the real rate and would read back as zero counter deltas)."""
+    from dataclasses import replace
+
+    prof = profile_for(algorithm)
+    return replace(prof, eff_flops_per_core=2.0e5)
+
+
+def make_spec(algorithm="ime", n=12, ranks=4, repetitions=3, **kwargs):
+    machine = small_test_machine(cores_per_socket=max(1, ranks // 2))
+    return ExperimentSpec(
+        algorithm=algorithm,
+        system=generate_system(n, seed=42),
+        ranks=ranks,
+        shape=LoadShape.FULL,
+        repetitions=repetitions,
+        machine=machine,
+        profile=kwargs.pop("profile", slow_profile(algorithm)),
+        **kwargs,
+    )
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        make_spec(algorithm="cholesky")
+    with pytest.raises(ValueError, match="repetitions"):
+        make_spec(repetitions=0)
+
+
+@pytest.mark.parametrize("algorithm", ["ime", "scalapack"])
+def test_experiment_solves_and_measures(algorithm):
+    spec = make_spec(algorithm=algorithm, repetitions=2)
+    result = MonitoringFramework().run_experiment(spec)
+    assert len(result.runs) == 2
+    ref = np.linalg.solve(spec.system.a, spec.system.b)
+    for run in result.runs:
+        np.testing.assert_allclose(run.solution, ref, atol=1e-9)
+        assert run.measured.n_nodes == spec.ranks // 4  # 4 ranks/test node
+        assert run.measured.total_j > 0
+        assert run.measured.duration > 0
+
+
+def test_repetitions_vary_with_node_sets():
+    """§5.3: runs land on different node sets — durations vary, seeded."""
+    spec = make_spec(repetitions=4, node_efficiency_spread=0.05,
+                     fabric_jitter=0.05)
+    result = MonitoringFramework().run_experiment(spec)
+    durations = [r.measured.duration for r in result.runs]
+    assert len(set(durations)) > 1
+    # Re-running the whole experiment reproduces it exactly.
+    result2 = MonitoringFramework().run_experiment(spec)
+    assert durations == [r.measured.duration for r in result2.runs]
+
+
+def test_experiment_aggregates():
+    spec = make_spec(repetitions=3)
+    result = MonitoringFramework().run_experiment(spec)
+    assert result.mean_duration > 0
+    assert result.mean_total_j == pytest.approx(
+        sum(r.measured.total_j for r in result.runs) / 3
+    )
+    assert result.mean_package_j > result.mean_dram_j
+    assert result.mean_power_w == pytest.approx(
+        result.mean_total_j / result.mean_duration
+    )
+    assert result.domain_j("package-0") > 0
+    assert result.stdev_duration() >= 0
+
+
+def test_measurement_error_is_small():
+    """White-box measurements track the oracle within a few percent."""
+    spec = make_spec(repetitions=2, n=16)
+    result = MonitoringFramework().run_experiment(spec)
+    for run in result.runs:
+        assert run.measurement_error_frac < 0.10
+
+
+def test_results_stored_human_readable(tmp_path):
+    spec = make_spec(repetitions=2)
+    MonitoringFramework(output_dir=tmp_path).run_experiment(spec)
+    files = sorted(tmp_path.glob("*.txt"))
+    # repetitions × nodes files, human-readable content.
+    assert len(files) == 2 * (spec.ranks // 4)
+    assert "rep0" in files[0].name and spec.algorithm in files[0].name
+    assert "powercap:::" in files[0].read_text()
+
+
+def test_identical_conditions_for_both_algorithms():
+    """§5.1: both solvers run on the same file-backed input."""
+    system = generate_system(12, seed=7)
+    machine = small_test_machine(cores_per_socket=2)
+    results = {}
+    for algorithm in ("ime", "scalapack"):
+        spec = ExperimentSpec(
+            algorithm=algorithm, system=system, ranks=4,
+            repetitions=1, machine=machine,
+            profile=slow_profile(algorithm),
+        )
+        results[algorithm] = MonitoringFramework().run_experiment(spec)
+    np.testing.assert_allclose(
+        results["ime"].runs[0].solution,
+        results["scalapack"].runs[0].solution,
+        atol=1e-9,
+    )
+
+
+def test_ime_higher_dram_energy_than_scalapack():
+    """The calibrated profiles give IMe more DRAM traffic per run —
+    the root of the paper's DRAM-power gap (§5.4)."""
+    system = generate_system(24, seed=3)
+    machine = small_test_machine(cores_per_socket=2)
+    out = {}
+    for algorithm in ("ime", "scalapack"):
+        spec = ExperimentSpec(algorithm=algorithm, system=system, ranks=4,
+                              repetitions=1, machine=machine,
+                              profile=slow_profile(algorithm))
+        result = MonitoringFramework().run_experiment(spec)
+        run = result.runs[0]
+        out[algorithm] = run.measured.dram_j / run.measured.duration
+    assert out["ime"] > out["scalapack"]

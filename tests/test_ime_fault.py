@@ -1,0 +1,167 @@
+"""Tests for IMe's integrated fault tolerance (checksum columns)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.ime.fault import (
+    FaultRecoveryError,
+    FaultTolerantTable,
+    FtOverheadModel,
+)
+from repro.solvers.ime.sequential import ime_solve
+from repro.workloads.generator import generate_system
+
+
+def make_table(n=20, seed=1, n_checksums=2):
+    s = generate_system(n, seed=seed)
+    return FaultTolerantTable(s.a, s.b, n_checksums=n_checksums, seed=seed), s
+
+
+# ---------------------------------------------------------------- invariants
+def test_checksums_initialized_consistently():
+    table, _ = make_table()
+    assert table.checksum_residual() < 1e-12
+
+
+def test_checksums_stay_exact_through_all_levels():
+    table, s = make_table(n=16)
+    for _ in range(16):
+        table.reduce_level()
+        assert table.checksum_residual() < 1e-9
+
+
+def test_ft_solve_matches_plain_ime_without_faults():
+    table, s = make_table(n=24, seed=3)
+    x = table.solve()
+    np.testing.assert_allclose(x, ime_solve(s.a, s.b), atol=1e-10)
+
+
+def test_validation():
+    s = generate_system(5, seed=0)
+    with pytest.raises(ValueError, match="checksum"):
+        FaultTolerantTable(s.a, s.b, n_checksums=0)
+    with pytest.raises(ValueError, match="square"):
+        FaultTolerantTable(np.zeros((2, 3)), np.zeros(2))
+    a = s.a.copy()
+    a[0, 0] = 0.0
+    with pytest.raises(Exception):
+        FaultTolerantTable(a, s.b)
+
+
+# ------------------------------------------------------------------ recovery
+@pytest.mark.parametrize("fail_level,lost", [
+    (0, [3]), (5, [0]), (10, [7, 12]), (19, [1, 18]),
+])
+def test_recover_mid_reduction_and_finish_exactly(fail_level, lost):
+    table, s = make_table(n=20, seed=4, n_checksums=2)
+    for _ in range(fail_level):
+        table.reduce_level()
+    table.corrupt(lost)
+    assert np.isnan(table.right[:, lost]).all()
+    recovered = table.recover()
+    assert recovered == sorted(lost)
+    assert table.checksum_residual() < 1e-8
+    x = table.solve()
+    np.testing.assert_allclose(x, np.linalg.solve(s.a, s.b), atol=1e-8)
+
+
+def test_recovery_restores_h_entries():
+    table, s = make_table(n=12, seed=5)
+    for _ in range(4):
+        table.reduce_level()
+    h_before = table.h.copy()
+    table.corrupt([2, 9])
+    assert np.isnan(table.h[[2, 9]]).all()
+    table.recover()
+    np.testing.assert_allclose(table.h, h_before, atol=1e-9)
+
+
+def test_multiple_sequential_failures():
+    """Several independent failures across the reduction, all recovered."""
+    table, s = make_table(n=18, seed=6, n_checksums=3)
+    for level_block, lost in [(3, [1]), (6, [4, 11]), (5, [16])]:
+        for _ in range(level_block):
+            table.reduce_level()
+        table.corrupt(lost)
+        table.recover()
+    x = table.solve()
+    np.testing.assert_allclose(x, np.linalg.solve(s.a, s.b), atol=1e-8)
+
+
+def test_too_many_losses_raise():
+    table, _ = make_table(n=10, n_checksums=2)
+    table.corrupt([1, 2, 3])
+    with pytest.raises(FaultRecoveryError, match="3 columns lost"):
+        table.recover()
+
+
+def test_cannot_reduce_while_corrupted():
+    table, _ = make_table(n=10)
+    table.corrupt([4])
+    with pytest.raises(FaultRecoveryError, match="recover"):
+        table.reduce_level()
+
+
+def test_corrupt_validates_columns():
+    table, _ = make_table(n=10)
+    with pytest.raises(ValueError, match="out of range"):
+        table.corrupt([10])
+
+
+def test_recover_without_losses_is_noop():
+    table, _ = make_table()
+    assert table.recover() == []
+
+
+def test_more_checksums_than_losses_uses_lstsq():
+    table, s = make_table(n=14, seed=7, n_checksums=4)
+    for _ in range(6):
+        table.reduce_level()
+    table.corrupt([5])
+    table.recover()
+    x = table.solve()
+    np.testing.assert_allclose(x, np.linalg.solve(s.a, s.b), atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=24),
+    seed=st.integers(min_value=0, max_value=500),
+    data=st.data(),
+)
+def test_property_recovery_is_exact(n, seed, data):
+    n_checksums = data.draw(st.integers(min_value=1, max_value=3))
+    k = data.draw(st.integers(min_value=1, max_value=n_checksums))
+    fail_level = data.draw(st.integers(min_value=0, max_value=n - 1))
+    lost = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1),
+                 min_size=k, max_size=k, unique=True)
+    )
+    s = generate_system(n, seed=seed)
+    table = FaultTolerantTable(s.a, s.b, n_checksums=n_checksums, seed=seed)
+    for _ in range(fail_level):
+        table.reduce_level()
+    table.corrupt(lost)
+    table.recover()
+    x = table.solve()
+    assert np.max(np.abs(s.a @ x - s.b)) < 1e-6 * max(1.0, np.abs(s.b).max())
+
+
+# ------------------------------------------------------------- overhead model
+def test_checksum_overhead_cheaper_than_checkpointing():
+    """§2: IMe's integrated FT beats checkpoint/restart."""
+    for n in (8640, 17280, 34560):
+        model = FtOverheadModel(n=n)
+        assert (model.ime_checksum_overhead_seconds()
+                < model.checkpoint_overhead_seconds())
+        assert (model.ime_recovery_seconds(k_lost=2)
+                < model.checkpoint_recovery_seconds())
+
+
+def test_checksum_overhead_scales_with_protection_level():
+    light = FtOverheadModel(n=8640, n_checksums=1)
+    heavy = FtOverheadModel(n=8640, n_checksums=8)
+    assert (heavy.ime_checksum_overhead_seconds()
+            > light.ime_checksum_overhead_seconds())

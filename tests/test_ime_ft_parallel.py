@@ -1,0 +1,134 @@
+"""Tests for the distributed fault-tolerant IMeP (rank failure + recovery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.runtime.job import Job
+from repro.solvers.ime.fault import FaultRecoveryError
+from repro.solvers.ime.ft_parallel import FtOptions, ime_ft_parallel_program
+from repro.solvers.ime.parallel import ime_parallel_program
+from repro.workloads.generator import generate_system
+
+
+def run_ft(n, ranks, seed=0, options=None):
+    if ranks % 2:
+        machine = small_test_machine(cores_per_socket=ranks)
+        placement = place_ranks(ranks, LoadShape.HALF_ONE_SOCKET, machine)
+    else:
+        machine = small_test_machine(cores_per_socket=ranks // 2)
+        placement = place_ranks(ranks, LoadShape.FULL, machine)
+    job = Job(machine, placement)
+    system = generate_system(n, seed=seed)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        out = yield from ime_ft_parallel_program(ctx, comm, system=sys_arg,
+                                                 options=options)
+        return out
+
+    return job.run(program), system
+
+
+def test_fault_free_run_is_exact():
+    result, system = run_ft(20, 4, seed=1)
+    x, report = result.rank_results[0]
+    np.testing.assert_allclose(x, np.linalg.solve(system.a, system.b),
+                               atol=1e-10)
+    assert report is None
+    assert all(r is None for r in result.rank_results[1:])
+
+
+@pytest.mark.parametrize("fail_rank,fail_level", [
+    (1, 0), (1, 7), (2, 19), (2, 10),
+])
+def test_recovery_mid_solve_is_exact(fail_rank, fail_level):
+    opts = FtOptions(n_checksums=8, fail_rank=fail_rank,
+                     fail_level=fail_level)
+    result, system = run_ft(20, 4, seed=2, options=opts)
+    x, report = result.rank_results[0]
+    np.testing.assert_allclose(x, np.linalg.solve(system.a, system.b),
+                               atol=1e-8)
+    assert report == {"lost_columns": len(range(fail_rank, 20, 3)),
+                      "recovered_at_level": fail_level}
+    assert result.rank_results[fail_rank] == "failed"
+
+
+def test_victim_really_stops_participating():
+    """After the failure the victim is out of every collective: the run
+    completes even though it returned early."""
+    opts = FtOptions(n_checksums=10, fail_rank=2, fail_level=3)
+    result, system = run_ft(18, 4, seed=3, options=opts)
+    x, _ = result.rank_results[0]
+    assert result.rank_results[2] == "failed"
+    np.testing.assert_allclose(x, np.linalg.solve(system.a, system.b),
+                               atol=1e-8)
+
+
+def test_ft_matches_plain_imep_when_fault_free():
+    opts = FtOptions(n_checksums=2)
+    result_ft, system = run_ft(24, 5, seed=4, options=opts)
+    x_ft, _ = result_ft.rank_results[0]
+
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(4, LoadShape.FULL, machine)  # the 4 data ranks
+    job = Job(machine, placement)
+
+    def plain(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        out = yield from ime_parallel_program(ctx, comm, system=sys_arg)
+        return out
+
+    x_plain = job.run(plain).rank_results[0]
+    np.testing.assert_allclose(x_ft, x_plain, atol=1e-10)
+
+
+def test_too_few_checksums_raises():
+    # Rank 1 of 3 data ranks owns ~7 of 20 columns; 2 checksums are not
+    # enough to reconstruct them.
+    opts = FtOptions(n_checksums=2, fail_rank=1, fail_level=4)
+    with pytest.raises(FaultRecoveryError, match="lost"):
+        run_ft(20, 4, seed=5, options=opts)
+
+
+def test_option_validation():
+    with pytest.raises(ValueError, match="master"):
+        FtOptions(fail_rank=0)
+    with pytest.raises(ValueError, match="checksum"):
+        FtOptions(n_checksums=0)
+    opts = FtOptions(fail_rank=9, fail_level=0, n_checksums=4)
+    with pytest.raises(ValueError, match="slave data rank"):
+        run_ft(12, 4, options=opts)
+    with pytest.raises(ValueError, match="3 ranks"):
+        run_ft(8, 2)
+
+
+def test_checksum_rank_costs_show_in_accounting():
+    """Protection is not free: the checksum rank charges the extra column
+    updates (the 'low-cost' overhead the paper cites)."""
+    plain_opts = FtOptions(n_checksums=1)
+    heavy_opts = FtOptions(n_checksums=12)
+    r_plain, _ = run_ft(24, 4, seed=6, options=plain_opts)
+    r_heavy, _ = run_ft(24, 4, seed=6, options=heavy_opts)
+    assert r_heavy.duration >= r_plain.duration
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(min_value=6, max_value=24),
+       seed=st.integers(min_value=0, max_value=100),
+       data=st.data())
+def test_property_recovery_exact_for_any_failure_point(n, seed, data):
+    ranks = 4  # 3 data ranks + checksum rank
+    fail_rank = data.draw(st.integers(min_value=1, max_value=2))
+    fail_level = data.draw(st.integers(min_value=0, max_value=n - 1))
+    k_lost = len(range(fail_rank, n, ranks - 1))
+    opts = FtOptions(n_checksums=k_lost, fail_rank=fail_rank,
+                     fail_level=fail_level)
+    result, system = run_ft(n, ranks, seed=seed, options=opts)
+    x, report = result.rank_results[0]
+    assert report["recovered_at_level"] == fail_level
+    assert np.max(np.abs(system.a @ x - system.b)) \
+        < 1e-6 * max(1.0, np.abs(system.b).max())

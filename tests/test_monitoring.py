@@ -1,0 +1,208 @@
+"""Tests for the white-box monitoring framework (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.core.events import domain_of, monitored_events
+from repro.core.monitoring import WhiteBoxMonitor, monitored_program
+from repro.core.records import (
+    NodeMeasurement,
+    RunMeasurement,
+    file_management,
+    parse_node_file,
+)
+from repro.runtime.job import Job
+from repro.workloads.generator import generate_system
+
+
+def make_job(ranks=8, cores_per_socket=2, shape=LoadShape.FULL, **kwargs):
+    machine = small_test_machine(cores_per_socket=cores_per_socket)
+    placement = place_ranks(ranks, shape, machine)
+    return Job(machine, placement, **kwargs), machine, placement
+
+
+# -------------------------------------------------------------------- events
+def test_monitored_events_cover_packages_and_drams():
+    events = monitored_events(2)
+    domains = {domain_of(e) for e in events}
+    assert domains == {"package-0", "package-1", "dram-0", "dram-1"}
+
+
+def test_domain_of_generic_zones():
+    assert domain_of("powercap:::ENERGY_UJ:ZONE3") == "package-3"
+    assert domain_of("powercap:::ENERGY_UJ:ZONE2_SUBZONE0") == "dram-2"
+
+
+# ------------------------------------------------------------------- monitor
+def test_monitoring_rank_is_highest_on_each_node():
+    job, _, placement = make_job(ranks=8)  # 2 nodes × 4 ranks
+
+    def program(ctx, comm):
+        monitor = WhiteBoxMonitor(ctx)
+        node_comm = yield from monitor.attach(comm)
+        return (ctx.node_id, node_comm.rank, node_comm.size,
+                monitor.is_monitor)
+
+    result = job.run(program)
+    monitors = [r for r in result.rank_results if r[3]]
+    assert len(monitors) == 2  # exactly one per node
+    # The monitor is the highest rank in its node communicator (§4).
+    assert all(node_rank == size - 1 for (_n, node_rank, size, _m) in monitors)
+    # World ranks 3 and 7 are the highest per node under block placement.
+    assert [r[3] for r in result.rank_results] == [
+        False, False, False, True, False, False, False, True
+    ]
+
+
+def test_monitor_lifecycle_produces_measurement():
+    job, machine, _ = make_job(ranks=4)
+
+    def program(ctx, comm):
+        monitor = WhiteBoxMonitor(ctx)
+        yield from monitor.attach(comm)
+        yield from monitor.start_monitoring()
+        yield from ctx.compute(flops=12e9)  # ~1 s monitored region
+        measurement = yield from monitor.stop_monitoring()
+        return measurement
+
+    result = job.run(program)
+    measurements = [m for m in result.rank_results if m is not None]
+    assert len(measurements) == 1
+    m = measurements[0]
+    assert m.duration == pytest.approx(1.0, rel=0.05)
+    assert set(m.values_uj) == set(monitored_events(2))
+    assert m.total_j > 0
+    assert m.package_j > m.dram_j > 0
+
+
+def test_monitor_requires_attach_first():
+    job, _, _ = make_job(ranks=4)
+
+    def program(ctx, comm):
+        monitor = WhiteBoxMonitor(ctx)
+        yield from monitor.start_monitoring()
+
+    with pytest.raises(RuntimeError, match="attach"):
+        job.run(program)
+
+
+def test_monitored_measurement_tracks_oracle_energy():
+    """White-box values must agree with ground truth up to counter effects."""
+    job, machine, _ = make_job(ranks=4)
+
+    def program(ctx, comm):
+        monitor = WhiteBoxMonitor(ctx)
+        yield from monitor.attach(comm)
+        yield from monitor.start_monitoring()
+        yield from ctx.compute(flops=24e9)
+        measurement = yield from monitor.stop_monitoring()
+        return measurement
+
+    result = job.run(program)
+    m = next(m for m in result.rank_results if m is not None)
+    oracle = sum(
+        v for (node, _d), v in result.node_energy_j.items() if node == 0
+    )
+    # The monitored window excludes a little head/tail of the allocation,
+    # so measured ≤ oracle, within a few percent on a ~2 s run.
+    assert m.total_j <= oracle
+    assert m.total_j == pytest.approx(oracle, rel=0.05)
+
+
+def test_monitor_brackets_only_the_solver_region():
+    """Energy consumed before start_monitoring must not be counted."""
+    job, machine, _ = make_job(ranks=4)
+
+    def program(ctx, comm):
+        monitor = WhiteBoxMonitor(ctx)
+        yield from monitor.attach(comm)
+        yield from ctx.compute(flops=60e9)  # 5 s of unmonitored work
+        yield from monitor.start_monitoring()
+        yield from ctx.compute(flops=12e9)  # 1 s monitored
+        measurement = yield from monitor.stop_monitoring()
+        return measurement
+
+    result = job.run(program)
+    m = next(m for m in result.rank_results if m is not None)
+    assert m.duration == pytest.approx(1.0, rel=0.05)
+    assert result.duration == pytest.approx(6.0, rel=0.05)
+
+
+def test_monitored_program_wrapper_gathers_all_nodes():
+    job, _, _ = make_job(ranks=8)  # 2 nodes
+
+    def solver(ctx, comm, scale=1.0):
+        yield from ctx.compute(flops=6e9 * scale)
+        return ctx.rank
+
+    program = monitored_program(solver, scale=2.0)
+    result = job.run(program)
+    solution, run_measurement = result.rank_results[0]
+    assert solution == 0
+    assert run_measurement.n_nodes == 2
+    assert {m.node_id for m in run_measurement.nodes} == {0, 1}
+    assert all(r[1] is None for r in result.rank_results[1:])
+
+
+def test_monitoring_adds_synchronization_overhead():
+    """§4: the barrier protocol slows the overall execution slightly."""
+    def solver(ctx, comm):
+        yield from ctx.compute(flops=1e9 * (1 + ctx.rank))
+
+    job_plain, _, _ = make_job(ranks=8)
+    plain = job_plain.run(lambda ctx, comm: solver(ctx, comm))
+    job_mon, _, _ = make_job(ranks=8)
+    monitored = job_mon.run(monitored_program(solver))
+    assert monitored.duration > plain.duration
+    # ... but the overhead is small relative to the solver (≤ 5 % here).
+    assert monitored.duration < plain.duration * 1.05
+
+
+# ------------------------------------------------------------------- records
+def _measurement(node_id=0, uj=1_000_000):
+    return NodeMeasurement(
+        node_id=node_id,
+        monitor_world_rank=3,
+        t_start=1.0,
+        t_stop=3.0,
+        values_uj={
+            "powercap:::ENERGY_UJ:ZONE0": uj,
+            "powercap:::ENERGY_UJ:ZONE1": uj // 2,
+            "powercap:::ENERGY_UJ:ZONE0_SUBZONE0": uj // 10,
+            "powercap:::ENERGY_UJ:ZONE1_SUBZONE0": uj // 20,
+        },
+    )
+
+
+def test_node_measurement_aggregates():
+    m = _measurement()
+    assert m.duration == pytest.approx(2.0)
+    assert m.package_j == pytest.approx(1.5)
+    assert m.dram_j == pytest.approx(0.15)
+    assert m.total_j == pytest.approx(1.65)
+    assert m.domain_j("package-1") == pytest.approx(0.5)
+    assert m.mean_power_w == pytest.approx(0.825)
+
+
+def test_run_measurement_aggregates():
+    run = RunMeasurement(nodes=(_measurement(0), _measurement(1, uj=2_000_000)))
+    assert run.n_nodes == 2
+    assert run.total_j == pytest.approx(1.65 + 3.3)
+    assert run.node(1).total_j == pytest.approx(3.3)
+    with pytest.raises(KeyError):
+        run.node(7)
+    with pytest.raises(ValueError):
+        RunMeasurement(nodes=())
+
+
+def test_file_management_roundtrip(tmp_path):
+    run = RunMeasurement(nodes=(_measurement(0), _measurement(1)))
+    paths = file_management(run, tmp_path, label="test")
+    assert len(paths) == 2
+    assert paths[0].name == "test_node0.txt"
+    text = paths[0].read_text()
+    assert "powercap:::ENERGY_UJ:ZONE0" in text  # human-readable (§4)
+    parsed = parse_node_file(paths[0])
+    assert parsed == run.nodes[0]

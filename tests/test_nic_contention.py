@@ -1,0 +1,110 @@
+"""Tests for the NIC injection-serialization fabric option."""
+
+import pytest
+
+from repro.cluster.machine import marconi_a3, small_test_machine
+from repro.cluster.network import ClusterFabric
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.runtime.job import Job
+from repro.simmpi.comm import World
+from repro.simmpi.engine import Simulator
+
+import numpy as np
+
+NET = marconi_a3().network
+
+
+def run_world(size, program, fabric, node_of):
+    sim = Simulator()
+    world = World(sim, size, fabric=fabric, node_of=node_of)
+    procs = [sim.spawn(program(comm), name=f"rank{comm.rank}")
+             for comm in world.comm_world()]
+    sim.run()
+    return [p.result for p in procs], sim
+
+
+def two_senders_one_receiver(nbytes):
+    """Ranks 0 and 1 send to rank 2 simultaneously; returns arrival span."""
+
+    def program(comm):
+        from repro.simmpi.engine import Now
+
+        if comm.rank in (0, 1):
+            yield from comm.send(np.zeros(nbytes // 8), dest=2, tag=comm.rank)
+            return None
+        t_arrivals = []
+        for tag in (0, 1):
+            yield from comm.recv(tag=tag)
+            t = yield Now()
+            t_arrivals.append(t)
+        return t_arrivals
+
+    return program
+
+
+def test_same_node_senders_serialize():
+    nbytes = 10_000_000  # 0.8 ms serialization each at 12.5 GB/s
+    fabric = ClusterFabric(NET, serialize_injection=True)
+    # Senders share node 0; receiver on node 1.
+    node_of = lambda r: 0 if r < 2 else 1  # noqa: E731
+    results, _ = run_world(3, two_senders_one_receiver(nbytes), fabric,
+                           node_of)
+    t0, t1 = results[2]
+    ser = nbytes / NET.inter_bandwidth
+    # The second transfer queued behind the first on the shared NIC.
+    assert t1 - t0 == pytest.approx(ser, rel=0.05)
+
+
+def test_different_node_senders_do_not_serialize():
+    nbytes = 10_000_000
+    fabric = ClusterFabric(NET, serialize_injection=True)
+    node_of = lambda r: r  # noqa: E731  (all on distinct nodes)
+    results, _ = run_world(3, two_senders_one_receiver(nbytes), fabric,
+                           node_of)
+    t0, t1 = results[2]
+    ser = nbytes / NET.inter_bandwidth
+    assert abs(t1 - t0) < 0.35 * ser  # receiver-side per-byte overhead only
+
+
+def test_serialization_off_by_default():
+    nbytes = 10_000_000
+    fabric = ClusterFabric(NET)
+    node_of = lambda r: 0 if r < 2 else 1  # noqa: E731
+    results, _ = run_world(3, two_senders_one_receiver(nbytes), fabric,
+                           node_of)
+    t0, t1 = results[2]
+    ser = nbytes / NET.inter_bandwidth
+    assert abs(t1 - t0) < 0.35 * ser  # receiver-side per-byte overhead only
+
+
+def test_intra_node_transfers_bypass_the_nic():
+    fabric = ClusterFabric(NET, serialize_injection=True)
+    now = 0.0
+    a1 = fabric.transfer_schedule(1_000_000, 0, 0, now)
+    a2 = fabric.transfer_schedule(1_000_000, 0, 0, now)
+    assert a1 == pytest.approx(a2)  # no queueing for shared memory
+
+
+def test_contended_job_is_deterministic_and_slower():
+    machine = small_test_machine(cores_per_socket=4)
+    placement = place_ranks(16, LoadShape.FULL, machine)  # 2 nodes
+
+    def program(ctx, comm):
+        # All node-0 ranks blast node-1 peers simultaneously.
+        partner = (comm.rank + 8) % 16
+        if comm.rank < 8:
+            yield from comm.send(np.zeros(250_000), dest=partner)
+        else:
+            yield from comm.recv(source=partner)
+
+    durations = {}
+    for flag in (False, True):
+        runs = []
+        for _ in range(2):
+            job = Job(machine, placement)
+            job.world.fabric = ClusterFabric(machine.network,
+                                             serialize_injection=flag)
+            runs.append(job.run(program).duration)
+        assert runs[0] == runs[1]  # deterministic
+        durations[flag] = runs[0]
+    assert durations[True] > durations[False]

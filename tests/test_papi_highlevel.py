@@ -1,0 +1,92 @@
+"""Tests for the PAPI high-level region API."""
+
+import pytest
+
+from repro.energy.papi import PapiError, PapiLibrary
+from repro.energy.power_model import PowerParams
+from repro.energy.rapl import RaplNode
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def make_papi(clock=None, **overrides):
+    clock = clock or FakeClock()
+    params = PowerParams().with_overrides(**overrides)
+    node = RaplNode(node_id=0, n_sockets=2, params=params, clock=clock)
+    return PapiLibrary(node, clock), clock
+
+
+def test_hl_region_measures_energy():
+    papi, clock = make_papi(pkg_idle_w=20.0)
+    papi.hl_region_begin("solve")
+    clock.t = 10.0
+    papi.hl_region_end("solve")
+    stats = papi.hl_read("solve")
+    assert stats["region_count"] == 1
+    # 20 W × 10 s per package = 2e8 µJ.
+    assert stats["powercap:::ENERGY_UJ:ZONE0"] == pytest.approx(2e8, rel=0.02)
+
+
+def test_hl_region_auto_initializes_library():
+    papi, clock = make_papi()
+    assert not papi.initialized
+    papi.hl_region_begin("r")
+    assert papi.initialized
+    clock.t = 1.0
+    papi.hl_region_end("r")
+
+
+def test_hl_regions_accumulate_across_entries():
+    papi, clock = make_papi(pkg_idle_w=10.0)
+    for i in range(3):
+        papi.hl_region_begin("loop")
+        clock.t += 1.0
+        papi.hl_region_end("loop")
+        clock.t += 5.0  # unmonitored gap
+    stats = papi.hl_read("loop")
+    assert stats["region_count"] == 3
+    # Only the 3 × 1 s inside the regions count: 10 W × 3 s = 3e7 µJ.
+    assert stats["powercap:::ENERGY_UJ:ZONE1"] == pytest.approx(3e7, rel=0.05)
+
+
+def test_hl_nested_distinct_regions():
+    papi, clock = make_papi(pkg_idle_w=10.0)
+    papi.hl_region_begin("outer")
+    clock.t = 2.0
+    papi.hl_region_begin("inner")
+    clock.t = 3.0
+    papi.hl_region_end("inner")
+    clock.t = 5.0
+    papi.hl_region_end("outer")
+    outer = papi.hl_read("outer")
+    inner = papi.hl_read("inner")
+    assert outer["powercap:::ENERGY_UJ:ZONE0"] > inner["powercap:::ENERGY_UJ:ZONE0"]
+
+
+def test_hl_misuse():
+    papi, clock = make_papi()
+    papi.hl_region_begin("r")
+    with pytest.raises(PapiError, match="already open"):
+        papi.hl_region_begin("r")
+    with pytest.raises(PapiError, match="not open"):
+        papi.hl_region_end("other")
+    with pytest.raises(PapiError, match="no data"):
+        papi.hl_read("other")
+    clock.t = 1.0
+    papi.hl_region_end("r")
+
+
+def test_hl_stop_closes_open_regions():
+    papi, clock = make_papi()
+    papi.hl_region_begin("a")
+    papi.hl_region_begin("b")
+    clock.t = 2.0
+    all_stats = papi.hl_stop()
+    assert set(all_stats) == {"a", "b"}
+    assert all(v["region_count"] == 1 for v in all_stats.values())

@@ -1,0 +1,129 @@
+"""Tests for phase-scoped monitoring and the black-box session."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.core.blackbox import EXTERNAL_OBSERVER, BlackBoxSession
+from repro.core.framework import _ime_solver
+from repro.core.monitoring import monitored_program
+from repro.core.phases import phase_monitored_program
+from repro.core.records import file_management, parse_node_file
+from repro.perfmodel.calibration import IME_PROFILE
+from repro.runtime.job import Job
+from repro.solvers.ime.costmodel import ImeCostModel
+from repro.workloads.generator import generate_system
+
+SLOW = replace(IME_PROFILE, eff_flops_per_core=2.0e5)
+
+
+def make_job(ranks=8, **kwargs):
+    machine = small_test_machine(cores_per_socket=max(1, ranks // 4))
+    placement = place_ranks(ranks, LoadShape.FULL, machine)
+    return Job(machine, placement, profile=kwargs.pop("profile", SLOW),
+               **kwargs)
+
+
+# ------------------------------------------------------------------- phases
+def run_phased(n=16, ranks=8, working_set=None):
+    job = make_job(ranks=ranks)
+    system = generate_system(n, seed=1)
+    if working_set is None:
+        working_set = 8.0 * ImeCostModel.memory_floats(n, ranks) / ranks
+    program = phase_monitored_program(
+        _ime_solver, working_set_bytes_per_rank=working_set, system=system,
+    )
+    result = job.run(program)
+    solution, measurements = result.rank_results[0]
+    return system, solution, measurements, result
+
+
+def test_phase_monitoring_produces_both_scopes():
+    system, solution, measurements, _ = run_phased()
+    np.testing.assert_allclose(
+        solution, np.linalg.solve(system.a, system.b), atol=1e-9
+    )
+    assert set(measurements) == {"general", "computation"}
+    for scope, run in measurements.items():
+        assert run.n_nodes == 2
+        assert all(m.phase == scope for m in run.nodes)
+
+
+def test_general_scope_contains_computation_scope():
+    _, _, measurements, _ = run_phased()
+    general = measurements["general"]
+    computation = measurements["computation"]
+    assert general.duration > computation.duration
+    assert general.total_j >= computation.total_j
+
+
+def test_phases_do_not_differ_significantly():
+    """§5.2: 'the data pertaining to the general execution and the
+    computation phase of the algorithm do not exhibit significant
+    differences' — allocation is O(n²) against O(n³) compute."""
+    _, _, measurements, _ = run_phased(n=48)
+    general = measurements["general"]
+    computation = measurements["computation"]
+    assert computation.total_j == pytest.approx(general.total_j, rel=0.15)
+
+
+def test_phase_label_survives_file_roundtrip(tmp_path):
+    _, _, measurements, _ = run_phased()
+    paths = file_management(measurements["computation"], tmp_path, label="p")
+    parsed = parse_node_file(paths[0])
+    assert parsed.phase == "computation"
+    assert parsed == measurements["computation"].nodes[0]
+
+
+# ----------------------------------------------------------------- black box
+def test_blackbox_measures_without_program_changes():
+    job = make_job(ranks=8)
+    system = generate_system(16, seed=2)
+    session = BlackBoxSession(job)
+    result, measurement = session.run(
+        lambda ctx, comm: _ime_solver(ctx, comm, system=system)
+    )
+    np.testing.assert_allclose(
+        result.rank_results[0], np.linalg.solve(system.a, system.b),
+        atol=1e-9,
+    )
+    assert measurement.n_nodes == 2
+    assert all(m.monitor_world_rank == EXTERNAL_OBSERVER
+               for m in measurement.nodes)
+    assert all(m.phase == "blackbox" for m in measurement.nodes)
+    assert measurement.total_j > 0
+
+
+def test_blackbox_upper_bounds_whitebox_region():
+    """The black-box window covers the whole allocation, so it reads at
+    least as much energy as the white-box solver region inside it."""
+    system = generate_system(16, seed=3)
+
+    job_bb = make_job(ranks=8)
+    _, blackbox = BlackBoxSession(job_bb).run(
+        monitored_program(_ime_solver, system=system)
+    )
+    job_wb = make_job(ranks=8)
+    result = job_wb.run(monitored_program(_ime_solver, system=system))
+    _, whitebox = result.rank_results[0]
+
+    assert blackbox.duration >= whitebox.duration
+    assert blackbox.total_j >= whitebox.total_j
+    # ... but they agree closely: the job is dominated by the solver.
+    assert whitebox.total_j == pytest.approx(blackbox.total_j, rel=0.10)
+
+
+def test_blackbox_tracks_oracle():
+    # A larger system keeps the ≤1 ms counter-tick truncation at the end
+    # of the window small relative to the total.
+    job = make_job(ranks=8)
+    system = generate_system(48, seed=4)
+    result, measurement = BlackBoxSession(job).run(
+        lambda ctx, comm: _ime_solver(ctx, comm, system=system)
+    )
+    assert measurement.total_j == pytest.approx(
+        result.total_energy_j, rel=0.05
+    )

@@ -1,0 +1,263 @@
+"""Tests for the ScaLAPACK-model solver: grid, block-cyclic maps, pdgesv."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.runtime.job import Job
+from repro.solvers.dense import SingularMatrixError
+from repro.solvers.scalapack.blockcyclic import (
+    global_index,
+    global_indices,
+    local_index,
+    numroc,
+    owner_of,
+)
+from repro.solvers.scalapack.costmodel import ScalapackCostModel
+from repro.solvers.scalapack.grid import ProcessGrid
+from repro.solvers.scalapack.pdgesv import ScalapackOptions, pdgesv_program
+from repro.workloads.generator import generate_system
+
+
+# ---------------------------------------------------------------------- grid
+def test_grid_squarest():
+    assert ProcessGrid.squarest(4) == ProcessGrid(2, 2)
+    assert ProcessGrid.squarest(12) == ProcessGrid(3, 4)
+    assert ProcessGrid.squarest(144) == ProcessGrid(12, 12)
+    assert ProcessGrid.squarest(1296) == ProcessGrid(36, 36)
+    assert ProcessGrid.squarest(7) == ProcessGrid(1, 7)
+
+
+def test_grid_coords_roundtrip():
+    grid = ProcessGrid(3, 4)
+    for rank in range(12):
+        pr, pc = grid.coords(rank)
+        assert grid.rank_of(pr, pc) == rank
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        ProcessGrid(0, 4)
+    with pytest.raises(ValueError):
+        ProcessGrid(2, 2).coords(4)
+    with pytest.raises(ValueError):
+        ProcessGrid(2, 2).rank_of(2, 0)
+    with pytest.raises(ValueError):
+        ProcessGrid.squarest(0)
+
+
+# --------------------------------------------------------------- blockcyclic
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=0, max_value=200),
+       nb=st.integers(min_value=1, max_value=16),
+       nprocs=st.integers(min_value=1, max_value=8))
+def test_property_numroc_partitions_dimension(n, nb, nprocs):
+    assert sum(numroc(n, nb, p, nprocs) for p in range(nprocs)) == n
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=st.integers(min_value=0, max_value=500),
+       nb=st.integers(min_value=1, max_value=16),
+       nprocs=st.integers(min_value=1, max_value=8))
+def test_property_global_local_roundtrip(g, nb, nprocs):
+    p = owner_of(g, nb, nprocs)
+    l = local_index(g, nb, nprocs)
+    assert global_index(l, nb, p, nprocs) == g
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=100),
+       nb=st.integers(min_value=1, max_value=8),
+       nprocs=st.integers(min_value=1, max_value=6))
+def test_property_global_indices_cover_dimension(n, nb, nprocs):
+    all_indices = np.concatenate(
+        [global_indices(n, nb, p, nprocs) for p in range(nprocs)]
+    )
+    assert sorted(all_indices.tolist()) == list(range(n))
+    for p in range(nprocs):
+        gi = global_indices(n, nb, p, nprocs)
+        assert len(gi) == numroc(n, nb, p, nprocs)
+        # Local storage order is increasing in the global index.
+        assert np.all(np.diff(gi) > 0)
+
+
+def test_blockcyclic_validation():
+    with pytest.raises(ValueError):
+        numroc(10, 0, 0, 4)
+    with pytest.raises(ValueError):
+        numroc(-1, 2, 0, 4)
+    with pytest.raises(ValueError):
+        numroc(10, 2, 5, 4)
+    with pytest.raises(ValueError):
+        owner_of(-1, 2, 4)
+
+
+def test_blockcyclic_known_example():
+    # n=10, nb=2, p=3: blocks 0..4 owned 0,1,2,0,1.
+    assert [owner_of(g, 2, 3) for g in range(10)] == [0, 0, 1, 1, 2, 2, 0, 0, 1, 1]
+    np.testing.assert_array_equal(global_indices(10, 2, 0, 3), [0, 1, 6, 7])
+    np.testing.assert_array_equal(global_indices(10, 2, 2, 3), [4, 5])
+
+
+# -------------------------------------------------------------------- pdgesv
+def run_pdgesv(n, ranks, seed=0, nb=4, grid=None, shape=LoadShape.FULL,
+               pivoting=True):
+    if ranks % 2:
+        machine = small_test_machine(cores_per_socket=ranks)
+        placement = place_ranks(ranks, LoadShape.HALF_ONE_SOCKET, machine)
+    else:
+        machine = small_test_machine(cores_per_socket=max(1, ranks // 2))
+        placement = place_ranks(ranks, shape, machine)
+    job = Job(machine, placement)
+    system = generate_system(n, seed=seed)
+    options = ScalapackOptions(nb=nb, grid=grid, pivoting=pivoting)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        x = yield from pdgesv_program(ctx, comm, system=sys_arg,
+                                      options=options)
+        return x
+
+    return job.run(program), system
+
+
+@pytest.mark.parametrize("n,ranks,nb", [
+    (8, 1, 3), (12, 2, 4), (16, 4, 4), (25, 4, 4), (30, 6, 5),
+    (13, 8, 2), (40, 9, 8),
+])
+def test_pdgesv_matches_numpy(n, ranks, nb):
+    result, system = run_pdgesv(n, ranks, seed=n, nb=nb)
+    ref = np.linalg.solve(system.a, system.b)
+    for x in result.rank_results:
+        np.testing.assert_allclose(x, ref, atol=1e-9)
+
+
+def test_pdgesv_explicit_grid_shapes():
+    for grid in [ProcessGrid(1, 4), ProcessGrid(4, 1), ProcessGrid(2, 2)]:
+        result, system = run_pdgesv(18, 4, seed=3, nb=3, grid=grid)
+        ref = np.linalg.solve(system.a, system.b)
+        np.testing.assert_allclose(result.rank_results[0], ref, atol=1e-9)
+
+
+def test_pdgesv_grid_size_mismatch():
+    with pytest.raises(ValueError, match="grid"):
+        run_pdgesv(10, 4, grid=ProcessGrid(3, 2))
+
+
+def test_pdgesv_pivoting_solves_permuted_system():
+    """Rows arranged so unpivoted elimination would hit a zero pivot."""
+    n, ranks = 8, 4
+    system = generate_system(n, seed=11)
+    a = system.a.copy()
+    a[[0, 5]] = a[[5, 0]]  # destroy diagonal dominance ordering
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(ranks, LoadShape.FULL, machine)
+    job = Job(machine, placement)
+
+    class Sys:
+        pass
+
+    sys_obj = Sys()
+    sys_obj.a, sys_obj.b = a, system.b
+
+    def program(ctx, comm):
+        x = yield from pdgesv_program(
+            ctx, comm, system=sys_obj if comm.rank == 0 else None,
+            options=ScalapackOptions(nb=3),
+        )
+        return x
+
+    result = job.run(program)
+    np.testing.assert_allclose(
+        result.rank_results[0], np.linalg.solve(a, system.b), atol=1e-9
+    )
+
+
+def test_pdgesv_singular_matrix_raises():
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(4, LoadShape.FULL, machine)
+    job = Job(machine, placement)
+
+    class Sys:
+        a = np.zeros((4, 4))
+        b = np.zeros(4)
+
+    def program(ctx, comm):
+        x = yield from pdgesv_program(
+            ctx, comm, system=Sys if comm.rank == 0 else None,
+            options=ScalapackOptions(nb=2),
+        )
+        return x
+
+    with pytest.raises(SingularMatrixError):
+        job.run(program)
+
+
+def test_pdgesv_requires_system_on_rank0():
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(4, LoadShape.FULL, machine)
+    job = Job(machine, placement)
+
+    def program(ctx, comm):
+        x = yield from pdgesv_program(ctx, comm, system=None)
+        return x
+
+    with pytest.raises(ValueError, match="rank 0"):
+        job.run(program)
+
+
+def test_pdgesv_charges_energy_and_traffic():
+    result, _ = run_pdgesv(24, 4, seed=5, nb=4)
+    assert result.duration > 0
+    assert result.package_energy_j > 0
+    assert result.traffic["messages"] > 0
+
+
+def test_pdgesv_matches_ime_solution():
+    """Both solvers, identical input (§5.1's 'identical conditions')."""
+    from repro.solvers.ime.sequential import ime_solve
+    result, system = run_pdgesv(20, 4, seed=21, nb=4)
+    x_scal = result.rank_results[0]
+    x_ime = ime_solve(system.a, system.b)
+    np.testing.assert_allclose(x_scal, x_ime, atol=1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(min_value=2, max_value=20),
+       ranks=st.sampled_from([2, 4]),
+       nb=st.integers(min_value=1, max_value=5),
+       seed=st.integers(min_value=0, max_value=50))
+def test_property_pdgesv_exact(n, ranks, nb, seed):
+    result, system = run_pdgesv(n, ranks, seed=seed, nb=nb)
+    ref = np.linalg.solve(system.a, system.b)
+    np.testing.assert_allclose(result.rank_results[0], ref, atol=1e-8)
+
+
+# --------------------------------------------------------------- cost model
+def test_scalapack_flops_leading_term():
+    assert ScalapackCostModel.flops(1000) / 1e9 == pytest.approx(2 / 3, rel=0.01)
+
+
+def test_scalapack_level_series_sum_to_total():
+    cm = ScalapackCostModel(nb=32)
+    n, P = 2048, 16
+    per_rank = cm.level_flops_per_rank(n, P)
+    assert len(per_rank) == cm.n_panels(n)
+    assert per_rank.sum() * P == pytest.approx(cm.flops(n), rel=0.05)
+
+
+def test_scalapack_pivot_messages_scale_with_n_and_grid():
+    cm = ScalapackCostModel()
+    small = cm.pivot_messages(1000, ProcessGrid(2, 2))
+    big_n = cm.pivot_messages(2000, ProcessGrid(2, 2))
+    big_grid = cm.pivot_messages(1000, ProcessGrid(16, 16))
+    assert big_n == pytest.approx(2 * small)
+    assert big_grid > small
+
+
+def test_scalapack_memory_includes_panel_buffers():
+    cm = ScalapackCostModel(nb=64)
+    assert cm.memory_floats(1000, 16) > cm.memory_floats(1000, 1)

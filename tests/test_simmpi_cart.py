@@ -1,0 +1,159 @@
+"""Tests for Cartesian process topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.cart import CartComm, create_cart, dims_create
+from repro.simmpi.comm import World
+from repro.simmpi.engine import Simulator
+from repro.simmpi.errors import SimMPIError
+from repro.simmpi.fabric import ZeroFabric
+
+
+def run_world(size, program):
+    sim = Simulator()
+    world = World(sim, size, fabric=ZeroFabric())
+    procs = [sim.spawn(program(comm), name=f"rank{comm.rank}")
+             for comm in world.comm_world()]
+    sim.run()
+    return [p.result for p in procs]
+
+
+# --------------------------------------------------------------- dims_create
+@pytest.mark.parametrize("nnodes,ndims,expected", [
+    (12, 2, [4, 3]),
+    (16, 2, [4, 4]),
+    (16, 4, [2, 2, 2, 2]),
+    (7, 2, [7, 1]),
+    (1, 3, [1, 1, 1]),
+    (144, 2, [12, 12]),
+])
+def test_dims_create_balanced(nnodes, ndims, expected):
+    assert dims_create(nnodes, ndims) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(nnodes=st.integers(min_value=1, max_value=200),
+       ndims=st.integers(min_value=1, max_value=4))
+def test_property_dims_create_product(nnodes, ndims):
+    dims = dims_create(nnodes, ndims)
+    prod = 1
+    for d in dims:
+        prod *= d
+    assert prod == nnodes
+    assert dims == sorted(dims, reverse=True)
+
+
+def test_dims_create_validation():
+    with pytest.raises(SimMPIError):
+        dims_create(0, 2)
+
+
+# ------------------------------------------------------------------- carts
+def test_cart_coords_roundtrip():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[2, 3])
+        assert cart.rank_of(cart.coords()) == comm.rank
+        return cart.coords()
+
+    results = run_world(6, program)
+    assert results == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+def test_cart_shape_mismatch():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[5, 2])
+        return cart
+
+    with pytest.raises(SimMPIError, match="needs"):
+        run_world(6, program)
+
+
+def test_cart_inconsistent_args_detected():
+    def program(comm):
+        dims = [2, 3] if comm.rank == 0 else [3, 2]
+        cart = yield from create_cart(comm, dims=dims)
+        return cart
+
+    with pytest.raises(SimMPIError, match="inconsistent"):
+        run_world(6, program)
+
+
+def test_cart_shift_non_periodic_edges():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[4], periods=[False])
+        return cart.shift(0, 1)
+
+    results = run_world(4, program)
+    assert results == [(None, 1), (0, 2), (1, 3), (2, None)]
+
+
+def test_cart_shift_periodic_wraps():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[4], periods=[True])
+        return cart.shift(0, 1)
+
+    results = run_world(4, program)
+    assert results == [(3, 1), (0, 2), (1, 3), (2, 0)]
+
+
+def test_cart_neighbor_exchange_ring():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[5], periods=[True])
+        got = yield from cart.neighbor_exchange(comm.rank, dimension=0)
+        return got
+
+    results = run_world(5, program)
+    assert results == [(r - 1) % 5 for r in range(5)]
+
+
+def test_cart_neighbor_exchange_edge_gets_none():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[3], periods=[False])
+        got = yield from cart.neighbor_exchange(comm.rank * 10, dimension=0)
+        return got
+
+    results = run_world(3, program)
+    assert results == [None, 0, 10]
+
+
+def test_cart_sub_collapses_dimensions():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[2, 3])
+        rows = yield from cart.sub([False, True])   # peers along columns
+        cols = yield from cart.sub([True, False])   # peers along rows
+        return (cart.coords(), rows.size, rows.rank, cols.size, cols.rank)
+
+    results = run_world(6, program)
+    for coords, row_size, row_rank, col_size, col_rank in results:
+        assert row_size == 3 and col_size == 2
+        assert row_rank == coords[1]
+        assert col_rank == coords[0]
+
+
+def test_cart_sub_communicators_are_usable():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[2, 2])
+        row = yield from cart.sub([False, True])
+        total = yield from row.comm.allreduce(comm.rank)
+        return total
+
+    results = run_world(4, program)
+    assert results == [1, 1, 5, 5]  # rows {0,1} and {2,3}
+
+
+def test_cart_validation():
+    def program(comm):
+        cart = yield from create_cart(comm, dims=[2, 2])
+        with pytest.raises(SimMPIError, match="out of range"):
+            cart.shift(5)
+        with pytest.raises(SimMPIError, match="coordinates"):
+            cart.rank_of([1])
+        with pytest.raises(SimMPIError, match="non-periodic"):
+            cart.rank_of([5, 0])
+        with pytest.raises(SimMPIError, match="remain_dims"):
+            yield from cart.sub([True])
+        return True
+
+    assert all(run_world(4, program))

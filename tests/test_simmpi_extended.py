@@ -1,0 +1,210 @@
+"""Tests for the extended simulated-MPI surface.
+
+sendrecv, probe/iprobe, waitall/waitany, gatherv/scatterv, reduce_scatter,
+and scan — the operations a downstream user of the substrate would reach
+for beyond the core set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.comm import SUM, World
+from repro.simmpi.engine import Delay, Simulator
+from repro.simmpi.errors import CommMismatchError, SimMPIError
+from repro.simmpi.fabric import UniformFabric, ZeroFabric
+
+
+def run_world(size, program, fabric=None, node_of=None):
+    sim = Simulator()
+    world = World(sim, size, fabric=fabric or ZeroFabric(), node_of=node_of)
+    comms = world.comm_world()
+    procs = [sim.spawn(program(comm), name=f"rank{comm.rank}")
+             for comm in comms]
+    sim.run()
+    return [p.result for p in procs], sim, world
+
+
+# ------------------------------------------------------------------ sendrecv
+def test_sendrecv_ring_exchange():
+    size = 5
+
+    def program(comm):
+        right = (comm.rank + 1) % size
+        left = (comm.rank - 1) % size
+        got = yield from comm.sendrecv(comm.rank, dest=right, source=left)
+        return got
+
+    results, _, _ = run_world(size, program)
+    assert results == [(r - 1) % size for r in range(size)]
+
+
+def test_sendrecv_pairwise_swap_no_deadlock():
+    def program(comm):
+        partner = 1 - comm.rank
+        got = yield from comm.sendrecv(f"from{comm.rank}", dest=partner,
+                                       source=partner)
+        return got
+
+    results, _, _ = run_world(2, program, fabric=UniformFabric())
+    assert results == ["from1", "from0"]
+
+
+# --------------------------------------------------------------------- probe
+def test_iprobe_sees_pending_message_without_consuming():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(10), dest=1, tag=7)
+            return None
+        yield Delay(1.0)  # let the message land
+        info = comm.iprobe(source=0, tag=7)
+        assert info == {"source": 0, "tag": 7, "nbytes": 80}
+        assert comm.iprobe(source=0, tag=9) is None
+        data = yield from comm.recv(source=0, tag=7)
+        assert comm.iprobe(source=0, tag=7) is None  # consumed
+        return data.shape
+
+    results, _, _ = run_world(2, program)
+    assert results[1] == (10,)
+
+
+def test_probe_blocks_until_arrival():
+    def program(comm):
+        if comm.rank == 0:
+            yield Delay(2.0)
+            yield from comm.send("late", dest=1, tag=3)
+            return None
+        info = yield from comm.probe(source=0, tag=3)
+        data = yield from comm.recv(source=0, tag=3)
+        return (info["source"], data)
+
+    results, sim, _ = run_world(2, program)
+    assert results[1] == (0, "late")
+    assert sim.now >= 2.0
+
+
+# ------------------------------------------------------------------ requests
+def test_waitall_collects_in_order():
+    def program(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(i, dest=1, tag=i) for i in range(4)]
+            yield from comm.waitall(reqs)
+            return None
+        reqs = [comm.irecv(source=0, tag=i) for i in range(4)]
+        values = yield from comm.waitall(reqs)
+        return values
+
+    results, _, _ = run_world(2, program)
+    assert results[1] == [0, 1, 2, 3]
+
+
+def test_waitany_returns_first_completion():
+    fabric = UniformFabric(latency=1.0, bandwidth=1e12, overhead=0.0,
+                           overhead_per_byte=0.0)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield Delay(5.0)
+            yield from comm.send("slow", dest=2, tag=0)
+            return None
+        if comm.rank == 1:
+            yield from comm.send("fast", dest=2, tag=1)
+            return None
+        reqs = [comm.irecv(source=0, tag=0), comm.irecv(source=1, tag=1)]
+        index, value = yield from comm.waitany(reqs)
+        return (index, value)
+
+    results, _, _ = run_world(3, program, fabric=fabric,
+                              node_of=lambda r: r)
+    assert results[2] == (1, "fast")
+
+
+def test_waitany_empty_raises():
+    def program(comm):
+        yield from comm.waitany([])
+
+    with pytest.raises(SimMPIError, match="empty"):
+        run_world(1, program)
+
+
+# -------------------------------------------------------------- v-collectives
+def test_gatherv_variable_sizes():
+    def program(comm):
+        payload = np.arange(comm.rank + 1, dtype=float)
+        out = yield from comm.gatherv(payload, root=0)
+        return None if out is None else [len(x) for x in out]
+
+    results, _, _ = run_world(4, program)
+    assert results[0] == [1, 2, 3, 4]
+
+
+def test_scatterv_variable_sizes():
+    def program(comm):
+        payloads = None
+        if comm.rank == 0:
+            payloads = [np.zeros(r + 1) for r in range(comm.size)]
+        mine = yield from comm.scatterv(payloads, root=0)
+        return len(mine)
+
+    results, _, _ = run_world(3, program)
+    assert results == [1, 2, 3]
+
+
+# ------------------------------------------------------------- reduce_scatter
+def test_reduce_scatter_scalar():
+    size = 4
+
+    def program(comm):
+        # rank r contributes [r*1, r*2, r*3, r*4] to destinations 0..3
+        payloads = [comm.rank * (d + 1) for d in range(size)]
+        mine = yield from comm.reduce_scatter(payloads, op=SUM)
+        return mine
+
+    results, _, _ = run_world(size, program)
+    # destination d receives sum_r r*(d+1) = 6*(d+1)
+    assert results == [6, 12, 18, 24]
+
+
+def test_reduce_scatter_arrays():
+    size = 3
+
+    def program(comm):
+        payloads = [np.full(2, float(comm.rank + d)) for d in range(size)]
+        mine = yield from comm.reduce_scatter(payloads, op=SUM)
+        return mine
+
+    results, _, _ = run_world(size, program)
+    for d in range(size):
+        np.testing.assert_allclose(results[d], np.full(2, 3.0 + 3 * d))
+
+
+def test_reduce_scatter_wrong_count():
+    def program(comm):
+        yield from comm.reduce_scatter([1])
+
+    with pytest.raises(CommMismatchError):
+        run_world(2, program)
+
+
+# ---------------------------------------------------------------------- scan
+@pytest.mark.parametrize("size", [1, 2, 5, 8])
+def test_scan_inclusive_prefix(size):
+    def program(comm):
+        out = yield from comm.scan(comm.rank + 1, op=SUM)
+        return out
+
+    results, _, _ = run_world(size, program)
+    assert results == [sum(range(1, r + 2)) for r in range(size)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=1, max_value=8),
+       values=st.lists(st.integers(-100, 100), min_size=8, max_size=8))
+def test_property_scan_matches_prefix_sums(size, values):
+    def program(comm):
+        out = yield from comm.scan(values[comm.rank], op=SUM)
+        return out
+
+    results, _, _ = run_world(size, program)
+    assert results == [sum(values[:r + 1]) for r in range(size)]

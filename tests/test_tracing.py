@@ -1,0 +1,101 @@
+"""Tests for the time-resolved power tracer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.energy.tracing import PowerTracer
+from repro.runtime.job import Job
+
+
+def make_job(ranks=4):
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(ranks, LoadShape.FULL, machine)
+    return Job(machine, placement), machine
+
+
+def test_tracer_validation():
+    job, _ = make_job()
+    with pytest.raises(ValueError, match="period"):
+        PowerTracer(job, period=0.0)
+
+
+def test_tracer_samples_cover_the_run():
+    job, _ = make_job()
+
+    def program(ctx, comm):
+        yield from ctx.compute(flops=12e9)  # 1 s
+
+    tracer = PowerTracer(job, period=0.05)
+    result, trace = tracer.run(program)
+    assert result.duration == pytest.approx(1.0, rel=1e-6)
+    # ~21 samples over 1 s at 50 ms, plus the closing sample.
+    assert 20 <= trace.n_samples <= 23
+    assert trace.times[0] == 0.0
+    assert trace.times[-1] == pytest.approx(result.duration)
+    # Sampling never perturbs the run.
+    job2, _ = make_job()
+    plain = job2.run(program)
+    assert plain.duration == result.duration
+
+
+def test_trace_energy_monotone_and_matches_oracle():
+    job, _ = make_job()
+
+    def program(ctx, comm):
+        yield from ctx.compute(flops=6e9)
+
+    _, trace = job_result_and_trace = PowerTracer(job, period=0.01).run(program)
+    result = job_result_and_trace[0]
+    for key, series in trace.energy.items():
+        assert all(b >= a for a, b in zip(series, series[1:])), key
+        # Final sample equals the oracle total for that domain.
+        assert series[-1] == pytest.approx(result.node_energy_j[key])
+
+
+def test_power_series_flat_during_constant_activity():
+    job, machine = make_job()
+
+    def program(ctx, comm):
+        yield from ctx.compute(flops=24e9)  # one 2 s constant segment
+
+    _, trace = PowerTracer(job, period=0.1).run(program)
+    t, watts = trace.power_series(0, "package-0")
+    assert len(watts) >= 15
+    inner = watts[1:-1]  # edges straddle the start/stop
+    assert np.ptp(inner) < 1e-6 * inner.mean()
+
+
+def test_power_series_shows_burst_structure():
+    """A compute burst between idle phases must show up as a power step."""
+    job, machine = make_job()
+
+    def program(ctx, comm):
+        yield from ctx.elapse(1.0, active=False)
+        yield from ctx.compute(flops=12e9)      # 1 s busy
+        yield from ctx.elapse(1.0, active=False)
+
+    _, trace = PowerTracer(job, period=0.05).run(program)
+    t, watts = trace.node_power_series(0)
+    head = watts[(t > 0.1) & (t < 0.9)].mean()
+    burst = watts[(t > 1.1) & (t < 1.9)].mean()
+    tail = watts[(t > 2.1) & (t < 2.9)].mean()
+    # The burst adds the compute increment over the spin floor (4 cores ×
+    # ~1 W on the small test machine) plus DRAM traffic power.
+    assert burst > head + 2.0
+    assert burst > tail + 2.0
+    assert head == pytest.approx(tail, rel=0.01)
+
+
+def test_node_power_series_sums_domains():
+    job, _ = make_job()
+
+    def program(ctx, comm):
+        yield from ctx.compute(flops=12e9)
+
+    _, trace = PowerTracer(job, period=0.25).run(program)
+    t_total, w_total = trace.node_power_series(0)
+    parts = [trace.power_series(0, d)[1]
+             for d in ("package-0", "package-1", "dram-0", "dram-1")]
+    np.testing.assert_allclose(w_total, sum(parts), rtol=1e-9)
