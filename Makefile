@@ -1,12 +1,22 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench figures clean
+.PHONY: install test doctest docs-check bench figures clean
 
 install:
 	python setup.py develop
 
-test:
+test: docs-check
 	pytest tests/
+
+# Runnable examples embedded in the reference docstrings.
+doctest:
+	PYTHONPATH=src python -m pytest --doctest-modules -q \
+		src/repro/simmpi/engine.py src/repro/core/framework.py \
+		src/repro/obs/metrics.py
+
+# Every intra-repo Markdown link in README.md and docs/ must resolve.
+docs-check:
+	python tools/check_docs_links.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -6,6 +6,7 @@
     repro compare -n 17280 -r 576     # one configuration, both algorithms
     repro powercap -n 25920 -r 144 --caps 120 100 80
     repro solve -n 64 -r 8            # run a monitored DES job (small n)
+    repro trace --algorithm ime --n 8640 --ranks 16 --out trace.json
 
 All paper-scale commands use the analytic mode with ten seeded
 repetitions; ``solve`` runs the full discrete-event pipeline with the
@@ -162,6 +163,36 @@ def cmd_solve(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        energy_report, metrics_report, run_traced, write_chrome_trace,
+    )
+
+    result, tracer = run_traced(
+        args.algorithm,
+        n=args.n,
+        ranks=args.ranks,
+        nodes=args.nodes,
+        seed=args.seed,
+        chunks=args.chunks,
+        nb=args.nb,
+        capture_p2p=not args.no_p2p,
+    )
+    path = write_chrome_trace(tracer, args.out)
+    s = tracer.summary()
+    print(f"{args.algorithm} n={args.n} on {args.ranks} simulated ranks: "
+          f"{s['spans']} spans, {s['counter_samples']} counter samples "
+          f"({result.duration * 1e3:.3f} ms virtual)")
+    print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
+    if args.report:
+        print()
+        print(energy_report(tracer, total_j=result.total_energy_j,
+                            duration=result.duration))
+        print()
+        print(metrics_report(tracer))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,6 +239,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="directory for the per-node result files")
     p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace a skeleton run to Chrome Trace Format JSON",
+        description=("Replay a solver's communication structure under the "
+                     "monitoring protocol with the observability tracer "
+                     "attached, and export the spans to Chrome Trace "
+                     "Event Format (see docs/observability.md)."),
+    )
+    p.add_argument("--algorithm", choices=("ime", "scalapack"),
+                   default="ime")
+    p.add_argument("--n", type=int, default=8640,
+                   help="matrix dimension (paper scale is fine: the "
+                        "skeleton samples the level loop)")
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunks", type=int, default=48,
+                   help="representative level/panel samples to replay")
+    p.add_argument("--nb", type=int, default=64,
+                   help="ScaLAPACK block size")
+    p.add_argument("--out", default="trace.json",
+                   help="output path for the Chrome trace JSON")
+    p.add_argument("--report", action="store_true",
+                   help="also print the per-phase energy attribution "
+                        "and metrics tables")
+    p.add_argument("--no-p2p", action="store_true",
+                   help="drop point-to-point spans (smaller traces)")
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

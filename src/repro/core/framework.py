@@ -58,7 +58,16 @@ SOLVER_PROGRAMS: dict[str, Callable] = {
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One experiment: algorithm × system × deployment × repetitions."""
+    """One experiment: algorithm × system × deployment × repetitions.
+
+    The algorithm name is validated eagerly so a typo fails at
+    construction, not after the first repetition has run:
+
+    >>> ExperimentSpec(algorithm="qr", system=None, ranks=4)
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown algorithm 'qr'; expected one of ['ime', 'scalapack']
+    """
 
     algorithm: str
     system: LinearSystem
@@ -92,6 +101,8 @@ class RunRecord:
     measured: RunMeasurement
     oracle: JobResult
     solution: object
+    #: the observability tracer attached to this repetition's job, if any
+    tracer: object = None
 
     @property
     def measurement_error_frac(self) -> float:
@@ -139,12 +150,46 @@ class ExperimentResult:
 
 
 class MonitoringFramework:
-    """Runs monitored experiments and stores their results."""
+    """Runs monitored experiments and stores their results.
+
+    A complete (tiny) monitored experiment, end to end — two repetitions
+    of IMe on four simulated ranks, each returning the white-box
+    measurement next to the simulator's oracle accounting:
+
+    >>> from dataclasses import replace
+    >>> from repro.cluster.machine import small_test_machine
+    >>> from repro.perfmodel.calibration import profile_for
+    >>> from repro.workloads.generator import generate_system
+    >>> slow = replace(profile_for("ime"), eff_flops_per_core=2.0e6)
+    >>> spec = ExperimentSpec(
+    ...     algorithm="ime", system=generate_system(12, seed=1),
+    ...     ranks=4, repetitions=2, machine=small_test_machine(),
+    ...     profile=slow)  # stretch tiny runs over many counter ticks
+    >>> result = MonitoringFramework().run_experiment(spec)
+    >>> len(result.runs)
+    2
+    >>> result.mean_total_j > 0
+    True
+    >>> run = result.runs[0]
+    >>> 0 <= run.measurement_error_frac < 1
+    True
+    """
 
     def __init__(self, output_dir: str | Path | None = None):
         self.output_dir = Path(output_dir) if output_dir is not None else None
 
-    def run_experiment(self, spec: ExperimentSpec) -> ExperimentResult:
+    def run_experiment(self, spec: ExperimentSpec,
+                       tracer_factory: Callable | None = None
+                       ) -> ExperimentResult:
+        """Run every repetition of ``spec`` on a fresh simulated allocation.
+
+        ``tracer_factory``, when given, is called once per repetition and
+        must return a fresh tracer (e.g. a
+        :class:`repro.obs.tracer.SpanTracer`); it is attached to the
+        repetition's :class:`Job` and kept on the returned
+        :class:`RunRecord`, so per-phase traces of monitored experiments
+        can be exported after the fact.
+        """
         solver = SOLVER_PROGRAMS[spec.algorithm.lower()]
         profile = spec.profile if spec.profile is not None \
             else profile_for(spec.algorithm)
@@ -160,6 +205,10 @@ class MonitoringFramework:
                 fabric_jitter=spec.fabric_jitter,
                 node_efficiency_spread=spec.node_efficiency_spread,
             )
+            tracer = None
+            if tracer_factory is not None:
+                tracer = tracer_factory()
+                job.attach_tracer(tracer)
             program = monitored_program(
                 solver, system=spec.system, **spec.solver_kwargs
             )
@@ -170,6 +219,7 @@ class MonitoringFramework:
                 measured=measurement,
                 oracle=oracle,
                 solution=solution,
+                tracer=tracer,
             )
             runs.append(record)
             if self.output_dir is not None:

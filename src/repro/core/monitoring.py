@@ -41,6 +41,7 @@ class WhiteBoxMonitor:
         self._eventset = None
         self._papi = None
         self._t_start = None
+        self._bracket_span = None
 
     # ------------------------------------------------------------- protocol
     def attach(self, comm):
@@ -68,6 +69,17 @@ class WhiteBoxMonitor:
             self._t_start = papi.start(eventset)  # PAPI_start_AND_time
             self._papi = papi
             self._eventset = eventset
+            tracer = self.world.world.tracer
+            if tracer is not None:
+                # The monitoring bracket: a span from PAPI_start to
+                # PAPI_stop on the monitoring rank's track.
+                wrank = self.world.world_rank()
+                self._bracket_span = tracer.begin_span(
+                    "monitoring", cat="monitor",
+                    pid=self.world.node_of(self.world.rank), tid=wrank,
+                    t=self._t_start,
+                    args={"node": self.ctx.node_id},
+                )
         # General execution synchronization before the solver phase.
         yield from self.world.barrier()
 
@@ -86,6 +98,12 @@ class WhiteBoxMonitor:
             values, t_stop = self._papi.stop(self._eventset)  # stop_AND_time
             names = self._eventset.event_names()
             self._papi.destroy_eventset(self._eventset)       # PAPI_term
+            if self._bracket_span is not None:
+                tracer = self.world.world.tracer
+                self._bracket_span.name = f"monitoring:{phase}"
+                self._bracket_span.args["phase"] = phase
+                tracer.end_span(self._bracket_span, t=t_stop)
+                self._bracket_span = None
             measurement = NodeMeasurement(
                 node_id=self.ctx.node_id,
                 monitor_world_rank=self.ctx.rank,

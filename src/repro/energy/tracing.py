@@ -82,6 +82,20 @@ class PowerTracer:
                     .append(node.exact_domain_energy_j(RaplDomain.package(s), t))
                 self.trace.energy[(node.node_id, RaplDomain.dram(s))] \
                     .append(node.exact_domain_energy_j(RaplDomain.dram(s), t))
+        tracer = self.job.tracer
+        if tracer is not None and len(self.trace.times) >= 2:
+            # Feed the power signal into the observability trace as one
+            # counter lane per node (watts over the last sampling interval).
+            t0, t1 = self.trace.times[-2], self.trace.times[-1]
+            if t1 > t0:
+                for node in self.job.rapl_nodes:
+                    joules = sum(
+                        series[-1] - series[-2]
+                        for (nid, _d), series in self.trace.energy.items()
+                        if nid == node.node_id
+                    )
+                    tracer.counter("power.node_w", joules / (t1 - t0),
+                                   t=t1, pid=node.node_id)
 
     def _tick(self, _arg) -> None:
         sim = self.job.sim

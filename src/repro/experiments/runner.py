@@ -116,9 +116,16 @@ def run_monitored(
     machine: MachineSpec | None = None,
     repetitions: int = 3,
     profile=None,
+    tracer_factory=None,
     **spec_kwargs,
 ) -> ConfigResult:
-    """Run a configuration through the monitored DES (validation scale)."""
+    """Run a configuration through the monitored DES (validation scale).
+
+    ``tracer_factory`` (zero-argument, returning a fresh tracer per
+    repetition) is forwarded to
+    :meth:`~repro.core.framework.MonitoringFramework.run_experiment`;
+    keep references on the caller's side to inspect the traces.
+    """
     spec = ExperimentSpec(
         algorithm=algorithm,
         system=system,
@@ -129,7 +136,9 @@ def run_monitored(
         profile=profile,
         **spec_kwargs,
     )
-    result = MonitoringFramework().run_experiment(spec)
+    result = MonitoringFramework().run_experiment(
+        spec, tracer_factory=tracer_factory
+    )
     n_sockets = spec.machine.sockets_per_node
     domains = [f"package-{s}" for s in range(n_sockets)] + \
               [f"dram-{s}" for s in range(n_sockets)]

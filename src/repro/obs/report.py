@@ -1,0 +1,146 @@
+"""Per-phase energy attribution: joining spans against the oracle.
+
+The tracer snapshots cumulative per-(node, domain) joules (through the
+``energy_probe`` wired up by ``Job.attach_tracer``, which reads the
+:mod:`repro.energy.accounting` integrators) at every boundary of a
+``phase`` or ``monitor`` span.  This module turns those snapshots into
+the plain-text report the paper's methodology calls for: how much energy
+each bracketed region of the run consumed, split into package and DRAM.
+
+Attribution is *wall-clock bracketed*, exactly like the paper's
+monitoring protocol: a phase is charged everything the allocation drew
+between the earliest start and the latest end of its spans across ranks
+— including idle/spin power of cores waiting inside the bracket.
+Overlapping phases therefore double-count by design (the same convention
+as nested PAPI brackets); the report prints the window of each phase so
+overlaps are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.tracer import ENERGY_SNAPSHOT_CATS, SpanTracer
+
+
+@dataclass(frozen=True)
+class PhaseEnergy:
+    """Aggregated energy of one named phase across ranks."""
+
+    name: str
+    cat: str
+    n_spans: int
+    t_start: float
+    t_end: float
+    package_j: float
+    dram_j: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def total_j(self) -> float:
+        return self.package_j + self.dram_j
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.total_j / self.duration if self.duration > 0 else 0.0
+
+
+def _split(snapshot: dict) -> tuple[float, float]:
+    """(package joules, dram joules) of one cumulative snapshot."""
+    pkg = sum(v for (_n, d), v in snapshot.items() if d.startswith("package"))
+    dram = sum(v for (_n, d), v in snapshot.items() if d.startswith("dram"))
+    return pkg, dram
+
+
+def phase_energy(tracer: SpanTracer,
+                 cats: tuple[str, ...] = ENERGY_SNAPSHOT_CATS
+                 ) -> list[PhaseEnergy]:
+    """Aggregate the traced phases into per-phase energy windows.
+
+    Spans of the same name (across ranks) merge into one phase whose
+    window is ``[min start, max end]``; its energy is the snapshot delta
+    over that window.  Returned in window order.
+    """
+    windows: dict[str, list] = {}
+    for span in tracer.spans:
+        if span.cat not in cats or not span.closed:
+            continue
+        entry = windows.setdefault(span.name, [span.cat, 0, span.t_start,
+                                               span.t_end])
+        entry[1] += 1
+        entry[2] = min(entry[2], span.t_start)
+        entry[3] = max(entry[3], span.t_end)
+    out = []
+    for name, (cat, count, t0, t1) in windows.items():
+        snap0 = tracer.energy_snapshots.get(t0)
+        snap1 = tracer.energy_snapshots.get(t1)
+        if snap0 is None or snap1 is None:
+            # No probe was attached when this span ran.
+            continue
+        pkg0, dram0 = _split(snap0)
+        pkg1, dram1 = _split(snap1)
+        out.append(PhaseEnergy(
+            name=name, cat=cat, n_spans=count, t_start=t0, t_end=t1,
+            package_j=pkg1 - pkg0, dram_j=dram1 - dram0,
+        ))
+    return sorted(out, key=lambda p: (p.t_start, p.t_end, p.name))
+
+
+def energy_report(tracer: SpanTracer, total_j: float | None = None,
+                  duration: float | None = None) -> str:
+    """Fixed-width per-phase attribution table (deterministic text).
+
+    ``total_j``/``duration`` (normally from the
+    :class:`~repro.runtime.job.JobResult` oracle) add a run-total footer
+    and a per-phase share column.
+    """
+    phases = phase_energy(tracer)
+    lines = []
+    lines.append("per-phase energy attribution "
+                 "(virtual time; oracle accounting)")
+    header = (f"{'phase':<28} {'t0 s':>10} {'t1 s':>10} {'dt s':>9} "
+              f"{'pkg J':>12} {'dram J':>10} {'total J':>12} {'W':>8}")
+    if total_j is not None:
+        header += f" {'share':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not phases:
+        lines.append("(no phase spans with energy snapshots recorded)")
+    for p in phases:
+        row = (f"{p.name:<28} {p.t_start:>10.4f} {p.t_end:>10.4f} "
+               f"{p.duration:>9.4f} {p.package_j:>12.3f} {p.dram_j:>10.3f} "
+               f"{p.total_j:>12.3f} {p.mean_power_w:>8.1f}")
+        if total_j is not None:
+            row += f" {100.0 * p.total_j / total_j:>6.1f}%"
+        lines.append(row)
+    if total_j is not None:
+        lines.append("-" * len(header))
+        footer = f"{'run total (oracle)':<28} "
+        if duration is not None:
+            footer += f"{0.0:>10.4f} {duration:>10.4f} {duration:>9.4f} "
+        else:
+            footer += f"{'':>10} {'':>10} {'':>9} "
+        footer += f"{'':>12} {'':>10} {total_j:>12.3f}"
+        if duration:
+            footer += f" {total_j / duration:>8.1f}"
+        lines.append(footer)
+    return "\n".join(lines)
+
+
+def metrics_report(tracer: SpanTracer) -> str:
+    """Plain-text dump of the metrics registry (totals + per-rank)."""
+    m = tracer.metrics
+    lines = ["metrics"]
+    for name in m.counter_names():
+        per_rank = m.per_rank(name)
+        suffix = ""
+        if per_rank:
+            cells = ", ".join(f"r{r}={v:g}" for r, v in per_rank.items())
+            suffix = f"  [{cells}]"
+        lines.append(f"  {name:<24} {m.counter_total(name):>14g}{suffix}")
+    for name in m.gauge_names():
+        lines.append(f"  {name:<24} {m.gauge(name):>14g} (last)")
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Symbolic trace workloads: paper-scale traces without paper-scale flops.
+
+``repro trace`` wants a per-phase trace of IMe or ScaLAPACK at the
+paper's problem sizes (n up to 25920).  Running the real numerics at
+that scale is out of reach for the DES validation machinery, so the
+skeleton programs here replay each solver's *communication structure*
+instead:
+
+* every phase of the real rank program appears under the same span name
+  (``ime:initime`` … ``scalapack:substitution``), so skeleton traces and
+  real small-n traces render identically;
+* collectives are the real simmpi operations — payload sizes come from
+  the published cost models, carried either by small representative
+  payloads or by the ``nbytes`` override of ``send``/``bcast``;
+* the level/panel loop is sampled at ``chunks`` representative points;
+  each sample runs one level's (panel's) communication pattern and
+  charges the **exact** summed flops of the levels it stands for, so
+  the compute/energy accounting matches the closed-form totals even
+  though only ``chunks`` communication rounds execute.
+
+The trade-off is explicit: virtual compute time and energy are exact
+(per the cost models), while communication time is sampled — a
+structural skeleton, not a calibrated performance prediction (that is
+what :mod:`repro.perfmodel.analytic` is for).
+
+Skeletons run under :func:`repro.core.monitoring.monitored_program`
+like any solver, so traces include the monitoring brackets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec, small_test_machine
+from repro.cluster.placement import LoadShape, Placement, layout_for
+from repro.core.monitoring import monitored_program
+from repro.obs.tracer import SpanTracer
+from repro.perfmodel.calibration import profile_for
+from repro.runtime.job import Job, JobResult
+from repro.solvers.ime.costmodel import ImeCostModel
+from repro.solvers.scalapack.costmodel import ScalapackCostModel
+from repro.solvers.scalapack.grid import ProcessGrid
+
+FLOAT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class SymbolicOptions:
+    """Tunables of the skeleton replay."""
+
+    #: representative level/panel samples (each stands for a block of
+    #: consecutive levels and charges their exact summed flops)
+    chunks: int = 48
+    #: ScaLAPACK block size (panel cadence + payload sizes)
+    nb: int = 64
+    #: charge the cost-model flops through the rank context
+    charge_compute: bool = True
+
+
+def _chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ≤ ``chunks`` contiguous blocks."""
+    chunks = max(1, min(chunks, total))
+    edges = np.linspace(0, total, chunks + 1).astype(int)
+    return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+
+def _maxloc(a: tuple, b: tuple) -> tuple:
+    return a if (a[0], -a[1]) >= (b[0], -b[1]) else b
+
+
+# ------------------------------------------------------------------- IMe
+def ime_skeleton_program(ctx, comm, n: int,
+                         options: SymbolicOptions | None = None):
+    """Rank program replaying IMeP's communication structure at size n."""
+    opts = options or SymbolicOptions()
+    rank, size, master = comm.rank, comm.size, 0
+    cm = ImeCostModel()
+    level_flops = cm.level_flops_per_rank(n, size)
+    shard_floats = max(1, n // size)
+    shard_bytes = FLOAT_BYTES * n * shard_floats  # one table-column shard
+
+    # INITIME: the table leaves the master once, one shard per slave.
+    with ctx.span("ime:initime", n=n, symbolic=True):
+        if rank == master:
+            for dest in range(1, size):
+                yield from comm.send(0, dest=dest, tag=90,
+                                     nbytes=shard_bytes)
+            if opts.charge_compute:
+                # table scaling: n² divisions
+                yield from ctx.compute(flops=float(n) * n,
+                                       dram_bytes=8.0 * n * n)
+        else:
+            yield from comm.recv(source=master, tag=90)
+
+    # Levels, sampled at `chunks` representative points.
+    row_shard = np.zeros(shard_floats)
+    with ctx.span("ime:levels", levels=n, chunks=opts.chunks):
+        for lo, hi in _chunk_bounds(n, opts.chunks):
+            mid = (lo + hi - 1) // 2
+            # (1) last-row gather to the master (real shard payloads).
+            yield from comm.gather(row_shard, root=master)
+            # (2) auxiliary (ĥ_l, p) broadcast — two floats.
+            aux = (1.0, 1.0) if rank == master else None
+            yield from comm.bcast(aux, root=master)
+            # (3) pivot-column broadcast from its owner, n−l floats.
+            owner = mid % size
+            col = 0.0 if rank == owner else None
+            yield from comm.bcast(col, root=owner,
+                                  nbytes=FLOAT_BYTES * (n - mid))
+            # (4) the chunk's exact per-rank inhibition flops.
+            if opts.charge_compute:
+                yield from ctx.compute(flops=float(level_flops[lo:hi].sum()))
+
+    with ctx.span("ime:solution"):
+        x = 0.0 if rank == master else None
+        yield from comm.bcast(x, root=master, nbytes=FLOAT_BYTES * n)
+    return None
+
+
+# -------------------------------------------------------------- ScaLAPACK
+def scalapack_skeleton_program(ctx, comm, n: int,
+                               options: SymbolicOptions | None = None):
+    """Rank program replaying block-cyclic LU + substitution at size n."""
+    opts = options or SymbolicOptions()
+    nb = opts.nb
+    nprocs = comm.size
+    grid = ProcessGrid.squarest(nprocs)
+    myrow, mycol = grid.coords(comm.rank)
+    row_comm = yield from comm.split(color=myrow, key=mycol)
+    col_comm = yield from comm.split(color=mycol, key=myrow)
+    cm = ScalapackCostModel(nb=nb)
+    panel_flops = cm.level_flops_per_rank(n, nprocs)
+    npanels = cm.n_panels(n)
+
+    with ctx.span("scalapack:distribute", nb=nb, symbolic=True):
+        shard_bytes = int(FLOAT_BYTES * n * n / nprocs)
+        if comm.rank == 0:
+            for dest in range(1, nprocs):
+                yield from comm.send(0, dest=dest, tag=91,
+                                     nbytes=shard_bytes)
+        else:
+            yield from comm.recv(source=0, tag=91)
+        b = 0.0 if comm.rank == 0 else None
+        yield from comm.bcast(b, root=0, nbytes=FLOAT_BYTES * n)
+
+    with ctx.span("scalapack:factorize", nb=nb, panels=npanels,
+                  chunks=opts.chunks):
+        for lo, hi in _chunk_bounds(npanels, opts.chunks):
+            kblock = (lo + hi - 1) // 2
+            k0 = kblock * nb
+            kb = min(nb, n - k0)
+            remaining = max(n - k0 - kb, 0)
+            pck = kblock % grid.npcol
+            prk = kblock % grid.nprow
+            # pivot chain sample: max-loc down the column, pivot along row
+            if mycol == pck:
+                best = yield from col_comm.allreduce(
+                    (1.0, k0), op=_maxloc
+                )
+                piv = best[1]
+            else:
+                piv = None
+            yield from row_comm.bcast(piv, root=pck)
+            # U12 down process columns, L21 along process rows
+            u12 = 0.0 if myrow == prk else None
+            yield from col_comm.bcast(
+                u12, root=prk,
+                nbytes=max(FLOAT_BYTES,
+                           FLOAT_BYTES * kb * remaining // grid.npcol),
+            )
+            l21 = 0.0 if mycol == pck else None
+            yield from row_comm.bcast(
+                l21, root=pck,
+                nbytes=max(FLOAT_BYTES,
+                           FLOAT_BYTES * kb * remaining // grid.nprow),
+            )
+            if opts.charge_compute:
+                yield from ctx.compute(flops=float(panel_flops[lo:hi].sum()))
+
+    with ctx.span("scalapack:substitution"):
+        for lo, hi in _chunk_bounds(npanels, opts.chunks):
+            kblock = (lo + hi - 1) // 2
+            kb = min(nb, n - kblock * nb)
+            pck = kblock % grid.npcol
+            prk = kblock % grid.nprow
+            yield from row_comm.reduce(0.0, root=pck)
+            blk = 0.0 if comm.rank == grid.rank_of(prk, pck) else None
+            yield from comm.bcast(blk, root=grid.rank_of(prk, pck),
+                                  nbytes=FLOAT_BYTES * kb)
+        if opts.charge_compute:
+            yield from ctx.compute(flops=2.0 * n * n / nprocs)
+    return None
+
+
+SKELETON_PROGRAMS = {
+    "ime": ime_skeleton_program,
+    "scalapack": scalapack_skeleton_program,
+}
+
+
+# ----------------------------------------------------------------- driver
+def run_traced(
+    algorithm: str,
+    n: int,
+    ranks: int,
+    nodes: int = 2,
+    seed: int = 0,
+    chunks: int = 48,
+    nb: int = 64,
+    capture_p2p: bool = True,
+    machine: MachineSpec | None = None,
+    fabric_jitter: float = 0.02,
+    node_efficiency_spread: float = 0.02,
+) -> tuple[JobResult, SpanTracer]:
+    """Run a monitored skeleton job with a tracer attached.
+
+    Builds a small test machine with ``ranks`` spread over ``nodes``
+    (mirroring ``repro solve``), attaches a fresh
+    :class:`~repro.obs.tracer.SpanTracer`, and runs the ``algorithm``
+    skeleton under the white-box monitoring protocol.  Returns the
+    job result and the tracer, ready for
+    :func:`repro.obs.export.write_chrome_trace` /
+    :func:`repro.obs.report.energy_report`.
+    """
+    try:
+        skeleton = SKELETON_PROGRAMS[algorithm.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"expected one of {sorted(SKELETON_PROGRAMS)}"
+        ) from None
+    if machine is None:
+        machine = small_test_machine(
+            cores_per_socket=max(1, ranks // (2 * max(1, nodes)))
+        )
+    layout = layout_for(ranks, LoadShape.FULL, machine)
+    placement = Placement(layout, machine)
+    # The experiment defaults for seeded run-to-run variation (§5.3's
+    # changing node sets), so distinct seeds yield distinct traces.
+    job = Job(machine, placement, profile=profile_for(algorithm), seed=seed,
+              fabric_jitter=fabric_jitter,
+              node_efficiency_spread=node_efficiency_spread)
+    tracer = SpanTracer(capture_p2p=capture_p2p)
+    job.attach_tracer(tracer)
+    program = monitored_program(
+        skeleton, n=n, options=SymbolicOptions(chunks=chunks, nb=nb)
+    )
+    result = job.run(program)
+    return result, tracer

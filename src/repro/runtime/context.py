@@ -19,6 +19,7 @@ measures (§5.4).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.cluster.topology import Core
@@ -71,6 +72,9 @@ class RankContext:
         self.flops_charged = 0.0
         self.dram_bytes_charged = 0.0
         self.compute_seconds = 0.0
+        #: observability hook (set by ``Job.attach_tracer``); ``None`` keeps
+        #: compute charging and :meth:`span` free of tracing overhead
+        self.tracer = None
 
     @property
     def node_id(self) -> int:
@@ -82,6 +86,22 @@ class RankContext:
 
     def papi(self) -> PapiLibrary:
         return self._papi
+
+    # -------------------------------------------------------------- tracing
+    def span(self, name: str, cat: str = "phase", **args):
+        """Scoped observability span on this rank's track.
+
+        Usable around ``yield from`` blocks inside rank programs::
+
+            with ctx.span("ime:reduce"):
+                yield from ...
+
+        A no-op context manager when no tracer is attached.
+        """
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, cat=cat, pid=self.node_id,
+                                tid=self.rank, args=args or None)
 
     # ------------------------------------------------------------- charging
     def compute(self, flops: float, dram_bytes: float | None = None,
@@ -100,10 +120,24 @@ class RankContext:
             prof.flop_util, prof.mem_util, t0, incremental_over_spin=True
         )
         dt = prof.duration(flops, freq_ratio) / self.node_efficiency
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin_span(
+                "compute", cat="compute", pid=self.node_id, tid=self.rank,
+                t=t0, args={"flops": float(flops),
+                            "dram_bytes": float(dram_bytes)},
+            )
         yield Delay(dt)
         t1 = yield Now()
         pkg.end_core_activity(handle, t1)
         pkg.charge_dram_traffic(dram_bytes, t0, t1)
+        if tracer is not None:
+            tracer.end_span(span, t=t1)
+            tracer.metrics.inc("compute.flops", float(flops),
+                               rank=self.rank, node=self.node_id)
+            tracer.metrics.inc("compute.seconds", dt,
+                               rank=self.rank, node=self.node_id)
         self.flops_charged += flops
         self.dram_bytes_charged += dram_bytes
         self.compute_seconds += dt

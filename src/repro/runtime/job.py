@@ -116,6 +116,7 @@ class Job:
         ]
         # Per-node speed factors model the changing node sets across the
         # paper's repetitions (§5.3 repeatability caveat).
+        self._tracer = None
         rng = np.random.default_rng(seed)
         if node_efficiency_spread > 0:
             self.node_efficiency = 1.0 + node_efficiency_spread * (
@@ -123,6 +124,37 @@ class Job:
             )
         else:
             self.node_efficiency = np.ones(n_nodes)
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire an observability tracer through the whole stack.
+
+        Connects the tracer (normally a
+        :class:`repro.obs.tracer.SpanTracer`) to the event engine, the
+        MPI world, and — via :meth:`make_contexts` — every rank context,
+        and points its clock and energy probe at this job.  Tracing is an
+        observation only: the virtual timeline and the energy accounting
+        are identical with or without a tracer attached.
+        """
+        tracer.clock = lambda: self.sim.now
+        if getattr(tracer, "energy_probe", None) is None:
+            tracer.energy_probe = self._energy_snapshot
+        self.sim.tracer = tracer
+        self.world.tracer = tracer
+        self._tracer = tracer
+
+    @property
+    def tracer(self):
+        """The attached tracer, or ``None`` (read-only; see attach_tracer)."""
+        return self._tracer
+
+    def _energy_snapshot(self) -> dict[tuple[int, str], float]:
+        """Cumulative oracle joules per (node, domain) at the current time."""
+        now = self.sim.now
+        return {
+            (node.node_id, domain): node.exact_domain_energy_j(domain, now)
+            for node in self.rapl_nodes
+            for domain in self._domains()
+        }
 
     def make_contexts(self) -> list[RankContext]:
         contexts = []
@@ -138,6 +170,8 @@ class Job:
                     node_efficiency=float(self.node_efficiency[core.node_id]),
                 )
             )
+        for ctx in contexts:
+            ctx.tracer = self._tracer
         return contexts
 
     def run(self, program: Callable, **kwargs) -> JobResult:
@@ -165,6 +199,8 @@ class Job:
                         if p.finish_time is not None), default=end)
         for pkg, handle in spin_handles:
             pkg.end_core_spin(handle, duration)
+        if self._tracer is not None:
+            self._tracer.close_open_spans(duration)
         energy: dict[tuple[int, str], float] = {}
         for node in self.rapl_nodes:
             for domain in self._domains():

@@ -18,6 +18,7 @@ collectives is reproduced rather than asserted.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
@@ -37,6 +38,39 @@ ANY_TAG = -1
 COMM_TYPE_SHARED = "shared"
 
 _COLL_TAG_BASE = -1000
+
+
+def _traced(cat: str):
+    """Wrap a blocking communicator operation in an observability span.
+
+    The wrapper is itself a generator, so the span opens when the caller
+    starts driving the operation and closes when it completes — exact
+    virtual-time brackets.  With no tracer attached (``world.tracer is
+    None``, the default) the overhead is one attribute check per call.
+    """
+
+    def decorate(fn):
+        op_name = fn.__name__
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            tracer = self.world.tracer
+            if tracer is None:
+                return (yield from fn(self, *args, **kwargs))
+            wrank = self.world_rank()
+            span = tracer.begin_span(
+                op_name, cat=cat,
+                pid=self.world.node_of(wrank), tid=wrank,
+                t=self.world.sim.now, args={"comm": self.cid},
+            )
+            try:
+                return (yield from fn(self, *args, **kwargs))
+            finally:
+                tracer.end_span(span, t=self.world.sim.now)
+
+        return wrapper
+
+    return decorate
 
 
 def SUM(a, b):
@@ -176,6 +210,9 @@ class World:
         self.track_traffic = track_traffic
         #: aggregate traffic statistics (message count / bytes, split by scope)
         self.stats = TrafficStats()
+        #: observability hook shared by every communicator of this world
+        #: (see :mod:`repro.obs.tracer`); ``None`` disables span recording
+        self.tracer = None
 
     def comm_world(self) -> "list[Communicator]":
         """Build COMM_WORLD: one communicator handle per rank."""
@@ -284,6 +321,15 @@ class Communicator:
             )
         if world.track_traffic:
             world.stats.record(size, src_node != dst_node)
+        if world.tracer is not None:
+            wrank = self.world_rank()
+            world.tracer.metrics.inc("comm.messages", 1,
+                                     rank=wrank, node=src_node)
+            world.tracer.metrics.inc("comm.bytes", size,
+                                     rank=wrank, node=src_node)
+            if src_node != dst_node:
+                world.tracer.metrics.inc("comm.inter_node_bytes", size,
+                                         rank=wrank, node=src_node)
         msg = _Message(
             src=self.rank,
             tag=tag,
@@ -301,6 +347,7 @@ class Communicator:
         )
         return Request(done)
 
+    @_traced("p2p")
     def send(self, payload: Any, dest: int, tag: int = 0,
              nbytes: int | None = None):
         """Blocking send (eager): returns after the CPU send overhead."""
@@ -318,6 +365,7 @@ class Communicator:
                                    seq=next(world._msg_seq)))
         return Request(ev, post=lambda msg: msg.payload)
 
+    @_traced("p2p")
     def sendrecv(self, payload: Any, dest: int, source: int = ANY_SOURCE,
                  sendtag: int = 0, recvtag: int = ANY_TAG):
         """Combined send+receive (deadlock-free pairwise exchange)."""
@@ -326,6 +374,7 @@ class Communicator:
         yield from req.wait()
         return received
 
+    @_traced("p2p")
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking probe: wait until a matching message has arrived and
         return its envelope ``{"source", "tag", "nbytes"}`` without
@@ -383,6 +432,7 @@ class Communicator:
                 return i, value
         raise SimMPIError("waitany woke without a completed request")
 
+    @_traced("p2p")
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              with_status: bool = False):
         """Blocking receive; returns the payload (or ``(payload, status)``)."""
@@ -433,6 +483,7 @@ class Communicator:
             mask >>= 1
         return parent, children
 
+    @_traced("coll")
     def bcast(self, payload: Any, root: int = 0, nbytes: int | None = None):
         """Binomial-tree broadcast; every rank returns the payload."""
         self._check_rank(root, "root")
@@ -450,6 +501,7 @@ class Communicator:
                                  nbytes=data_bytes)
         return payload
 
+    @_traced("coll")
     def gather(self, payload: Any, root: int = 0):
         """Binomial-tree gather to root (MPICH's short-message schedule).
 
@@ -473,6 +525,7 @@ class Communicator:
             return None
         return [acc[r] for r in range(size)]
 
+    @_traced("coll")
     def scatter(self, payloads: list | None, root: int = 0):
         """Flat scatter from root; every rank returns its element."""
         self._check_rank(root, "root")
@@ -491,6 +544,7 @@ class Communicator:
         item = yield from self.recv(source=root, tag=tag)
         return item
 
+    @_traced("coll")
     def reduce(self, payload: Any, op: Callable = SUM, root: int = 0):
         """Binomial-tree reduction to root (op must be associative)."""
         self._check_rank(root, "root")
@@ -511,27 +565,32 @@ class Communicator:
             return None
         return acc
 
+    @_traced("coll")
     def allreduce(self, payload: Any, op: Callable = SUM):
         acc = yield from self.reduce(payload, op=op, root=0)
         acc = yield from self.bcast(acc, root=0)
         return acc
 
+    @_traced("coll")
     def allgather(self, payload: Any):
         gathered = yield from self.gather(payload, root=0)
         gathered = yield from self.bcast(gathered, root=0)
         return gathered
 
+    @_traced("coll")
     def gatherv(self, payload: Any, root: int = 0):
         """Variable-size gather: like :meth:`gather` (payloads may differ
         arbitrarily in size/shape per rank)."""
         out = yield from self.gather(payload, root=root)
         return out
 
+    @_traced("coll")
     def scatterv(self, payloads: list | None, root: int = 0):
         """Variable-size scatter (per-rank payloads of any size)."""
         out = yield from self.scatter(payloads, root=root)
         return out
 
+    @_traced("coll")
     def reduce_scatter(self, payloads: list, op: Callable = SUM):
         """Element-wise reduce over the per-destination payload lists, then
         scatter: rank ``i`` receives ``op``-reduction of every rank's
@@ -545,6 +604,7 @@ class Communicator:
         mine = yield from self.scatter(reduced, root=0)
         return mine
 
+    @_traced("coll")
     def scan(self, payload: Any, op: Callable = SUM):
         """Inclusive prefix reduction: rank i gets op(v₀, …, vᵢ)."""
         gathered = yield from self.allgather(payload)
@@ -553,6 +613,7 @@ class Communicator:
             acc = op(acc, item)
         return acc
 
+    @_traced("coll")
     def alltoall(self, payloads: list):
         """Pairwise exchange; returns the list indexed by source rank."""
         if len(payloads) != self.size:
@@ -573,12 +634,14 @@ class Communicator:
             yield from req.wait()
         return out
 
+    @_traced("coll")
     def barrier(self):
         """Synchronize all ranks (reduce + bcast of an empty token)."""
         token = yield from self.reduce(0, op=SUM, root=0)
         yield from self.bcast(token, root=0)
 
     # ----------------------------------------------------------------- split
+    @_traced("coll")
     def split(self, color: int, key: int | None = None) -> "Iterable":
         """Split into sub-communicators by color, ordered by (key, rank).
 
@@ -606,6 +669,7 @@ class Communicator:
             self.world, shared["cid"], rank=new_rank, group=group, parent=self
         )
 
+    @_traced("coll")
     def split_type(self, split_type: str = COMM_TYPE_SHARED,
                    key: int | None = None):
         """``MPI_Comm_split_type``: group ranks sharing a node.
@@ -619,6 +683,7 @@ class Communicator:
         comm = yield from self.split(color=color, key=key)
         return comm
 
+    @_traced("coll")
     def dup(self):
         """Duplicate the communicator (collective)."""
         comm = yield from self.split(color=0, key=self.rank)

@@ -17,6 +17,41 @@ functions delegated to with ``yield from``, so the engine only ever sees the
 three primitives above.  Determinism is guaranteed by a monotonically
 increasing sequence number that breaks ties between events scheduled at the
 same virtual time.
+
+A minimal program — spawn a generator, run to quiescence, read the result:
+
+>>> from repro.simmpi.engine import Simulator, sleep, now
+>>> sim = Simulator()
+>>> def worker():
+...     yield from sleep(1.5)          # advance 1.5 s of virtual time
+...     t = yield from now()
+...     return f"woke at {t:g}"
+>>> proc = sim.spawn(worker(), name="w")
+>>> sim.run()
+1.5
+>>> proc.result
+'woke at 1.5'
+
+Two processes synchronizing through a :class:`SimEvent`:
+
+>>> sim = Simulator()
+>>> ready = sim.event(name="ready")
+>>> def producer():
+...     yield from sleep(2.0)
+...     ready.set("payload")
+>>> def consumer():
+...     value = yield from wait(ready)
+...     return value
+>>> results = sim.run_all([("p", producer()), ("c", consumer())])
+>>> results["c"]
+'payload'
+
+The engine carries observability hooks (see :mod:`repro.obs.tracer`):
+assigning a tracer to :attr:`Simulator.tracer` streams process lifecycle
+events, virtual-clock advances, and event-queue depth to it.  With the
+default ``tracer = None`` every hook site is a single attribute check —
+tracing is zero-cost when disabled and never perturbs virtual time when
+enabled (tracers are pure observers).
 """
 
 from __future__ import annotations
@@ -128,6 +163,9 @@ class Process:
     def _step(self, send_value: Any = None) -> None:
         """Advance the generator one syscall and dispatch it."""
         self._blocked_on = "running"
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_process_resume(self.name, self.sim.now)
         try:
             syscall = self.gen.send(send_value)
         except StopIteration as stop:
@@ -135,6 +173,8 @@ class Process:
             self.result = stop.value
             self.finish_time = self.sim.now
             self.sim._live_processes.discard(self)
+            if tracer is not None:
+                tracer.on_process_finish(self.name, self.sim.now)
             self.finished_event.set(stop.value)
             return
         except BaseException as exc:
@@ -146,11 +186,15 @@ class Process:
 
         if isinstance(syscall, Delay):
             self._blocked_on = f"delay({syscall.dt:g})"
+            if tracer is not None:
+                tracer.on_process_block(self.name, "delay", self.sim.now)
             self.sim._schedule(syscall.dt, self._step, None)
         elif isinstance(syscall, Now):
             self._step(self.sim.now)
         elif isinstance(syscall, WaitEvent):
             self._blocked_on = f"wait({syscall.event.name})"
+            if tracer is not None:
+                tracer.on_process_block(self.name, "wait", self.sim.now)
             syscall.event._add_waiter(self)
         else:
             err = TypeError(
@@ -168,7 +212,22 @@ class Process:
 
 
 class Simulator:
-    """The deterministic event loop and virtual clock."""
+    """The deterministic event loop and virtual clock.
+
+    >>> sim = Simulator()
+    >>> sim.now
+    0.0
+    >>> hits = []
+    >>> sim.call_at(0.25, hits.append)         # raw callback, absolute time
+    >>> def prog():
+    ...     yield Delay(1.0)
+    ...     return "ok"
+    >>> proc = sim.spawn(prog(), name="demo")
+    >>> sim.run()
+    1.0
+    >>> (proc.result, hits)
+    ('ok', [None])
+    """
 
     def __init__(self):
         self._now = 0.0
@@ -176,6 +235,9 @@ class Simulator:
         self._seq = 0
         self._live_processes: set[Process] = set()
         self._failure: tuple[Process, BaseException] | None = None
+        #: observability hook (see :mod:`repro.obs.tracer`); ``None`` keeps
+        #: every hook site a single attribute check
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -198,6 +260,8 @@ class Simulator:
         """Register a generator as a process; it starts at the current time."""
         proc = Process(self, gen, name)
         self._live_processes.add(proc)
+        if self.tracer is not None:
+            self.tracer.on_process_spawn(name, self._now)
         self._schedule(0.0, proc._step, None)
         return proc
 
@@ -221,6 +285,9 @@ class Simulator:
                 heapq.heappush(self._heap, (time, _seq, fn, arg))
                 self._now = until
                 return self._now
+            if self.tracer is not None and time > self._now:
+                self.tracer.on_clock_advance(self._now, time,
+                                             len(self._heap) + 1)
             self._now = time
             fn(arg)
         if self._failure is not None:

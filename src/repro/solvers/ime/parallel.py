@@ -71,91 +71,98 @@ def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = No
     master = 0
 
     # ----------------------------------------------------------- INITIME
-    if rank == master:
-        if system is None:
-            raise ValueError("the master rank needs the input system")
-        a = np.asarray(system.a, dtype=np.float64)
-        b = np.asarray(system.b, dtype=np.float64)
-        n = a.shape[0]
-        d = np.diag(a).copy()
-        if np.any(d == 0.0):
-            raise SingularMatrixError("IMe requires nonzero diagonal entries")
-        right = a.T / d[:, None]          # R[i, j] = a_{j,i} / a_{i,i}
-        shards = [
-            (n, right[:, _owned_columns(n, size, r)].copy(),
-             b[_owned_columns(n, size, r)].copy())
-            for r in range(size)
-        ]
-        h_master = b.copy()
-    else:
-        shards = None
+    with ctx.span("ime:initime"):
+        if rank == master:
+            if system is None:
+                raise ValueError("the master rank needs the input system")
+            a = np.asarray(system.a, dtype=np.float64)
+            b = np.asarray(system.b, dtype=np.float64)
+            n = a.shape[0]
+            d = np.diag(a).copy()
+            if np.any(d == 0.0):
+                raise SingularMatrixError(
+                    "IMe requires nonzero diagonal entries"
+                )
+            right = a.T / d[:, None]      # R[i, j] = a_{j,i} / a_{i,i}
+            shards = [
+                (n, right[:, _owned_columns(n, size, r)].copy(),
+                 b[_owned_columns(n, size, r)].copy())
+                for r in range(size)
+            ]
+            h_master = b.copy()
+        else:
+            shards = None
 
-    n, r_local, h_local = yield from comm.scatter(shards, root=master)
-    mine = _owned_columns(n, size, rank)
-    n_local = len(mine)
-    # Map global column -> local index for the columns this rank owns.
-    local_of = {int(g): i for i, g in enumerate(mine)}
+        n, r_local, h_local = yield from comm.scatter(shards, root=master)
+        mine = _owned_columns(n, size, rank)
+        n_local = len(mine)
+        # Map global column -> local index for the columns this rank owns.
+        local_of = {int(g): i for i, g in enumerate(mine)}
 
-    if rank == master and opts.charge_compute:
-        # INITIME scaling of the table: n² divisions.
-        yield from ctx.compute(flops=float(n) * n, dram_bytes=8.0 * n * n)
+        if rank == master and opts.charge_compute:
+            # INITIME scaling of the table: n² divisions.
+            yield from ctx.compute(flops=float(n) * n, dram_bytes=8.0 * n * n)
 
     # ------------------------------------------------------------ levels
-    for level in range(n):
-        # (1) row-l entries of the owned columns go to the master.
-        m_local = r_local[level, :].copy()
-        gathered = yield from comm.gather(m_local, root=master)
+    with ctx.span("ime:levels", levels=n):
+        for level in range(n):
+            # (1) row-l entries of the owned columns go to the master.
+            m_local = r_local[level, :].copy()
+            gathered = yield from comm.gather(m_local, root=master)
 
-        # (2) master advances its h replica and broadcasts (ĥ_l, p).
-        if rank == master:
-            m_full = np.empty(n)
-            for r, shard in enumerate(gathered):
-                m_full[_owned_columns(n, size, r)] = shard
-            p = m_full[level]
-            if p == 0.0:
-                raise SingularMatrixError(f"zero inhibition pivot at level {level}")
-            hl = h_master[level] / p
-            m_masked = m_full.copy()
-            m_masked[level] = 0.0
-            h_master -= m_masked * hl
-            h_master[level] = hl
-            aux = (hl, p)
-        else:
-            aux = None
-        hl, p = yield from comm.bcast(aux, root=master)
+            # (2) master advances its h replica and broadcasts (ĥ_l, p).
+            if rank == master:
+                m_full = np.empty(n)
+                for r, shard in enumerate(gathered):
+                    m_full[_owned_columns(n, size, r)] = shard
+                p = m_full[level]
+                if p == 0.0:
+                    raise SingularMatrixError(
+                        f"zero inhibition pivot at level {level}"
+                    )
+                hl = h_master[level] / p
+                m_masked = m_full.copy()
+                m_masked[level] = 0.0
+                h_master -= m_masked * hl
+                h_master[level] = hl
+                aux = (hl, p)
+            else:
+                aux = None
+            hl, p = yield from comm.bcast(aux, root=master)
 
-        # (3) the owner of table column n+l broadcasts its normalized
-        #     active part to everyone.
-        owner = level % size
-        if rank == owner:
-            lcol = local_of[level]
-            chat = r_local[level:, lcol] / p
-        else:
-            chat = None
-        chat = yield from comm.bcast(chat, root=owner)
+            # (3) the owner of table column n+l broadcasts its normalized
+            #     active part to everyone.
+            owner = level % size
+            if rank == owner:
+                lcol = local_of[level]
+                chat = r_local[level:, lcol] / p
+            else:
+                chat = None
+            chat = yield from comm.bcast(chat, root=owner)
 
-        # (4) local inhibition of row `level` over the active window.
-        m_update = m_local.copy()
-        if rank == owner:
-            m_update[local_of[level]] = 0.0
-        r_local[level:, :] -= np.outer(chat, m_update)
-        if rank == owner:
-            r_local[level:, local_of[level]] = chat
-        h_local -= m_local * hl
-        if rank == owner:
-            h_local[local_of[level]] = hl
+            # (4) local inhibition of row `level` over the active window.
+            m_update = m_local.copy()
+            if rank == owner:
+                m_update[local_of[level]] = 0.0
+            r_local[level:, :] -= np.outer(chat, m_update)
+            if rank == owner:
+                r_local[level:, local_of[level]] = chat
+            h_local -= m_local * hl
+            if rank == owner:
+                h_local[local_of[level]] = hl
 
-        if opts.charge_compute:
-            flops = _level_flops_per_rank(n, level, size)
-            yield from ctx.compute(flops=flops)
+            if opts.charge_compute:
+                flops = _level_flops_per_rank(n, level, size)
+                yield from ctx.compute(flops=flops)
 
     # ------------------------------------------------------------- epilogue
-    if rank == master:
-        x = h_master / d
-    else:
-        x = None
-    if opts.broadcast_solution:
-        x = yield from comm.bcast(x, root=master)
+    with ctx.span("ime:solution"):
+        if rank == master:
+            x = h_master / d
+        else:
+            x = None
+        if opts.broadcast_solution:
+            x = yield from comm.bcast(x, root=master)
     if opts.return_shards:
         return x, (mine, h_local)
     return x

@@ -73,22 +73,23 @@ def pdgesv_program(ctx, comm, system=None,
     col_comm = yield from comm.split(color=mycol, key=myrow)
 
     # ------------------------------------------------------- distribution
-    if comm.rank == 0:
-        if system is None:
-            raise ValueError("world rank 0 needs the input system")
-        a = np.asarray(system.a, dtype=np.float64)
-        n = a.shape[0]
-        shards = []
-        for r in range(nprocs):
-            pr, pc = grid.coords(r)
-            gr = global_indices(n, nb, pr, grid.nprow)
-            gc = global_indices(n, nb, pc, grid.npcol)
-            shards.append((n, a[np.ix_(gr, gc)].copy()))
-        b_full = np.asarray(system.b, dtype=np.float64).copy()
-    else:
-        shards, b_full = None, None
-    n, a_local = yield from comm.scatter(shards, root=0)
-    b = yield from comm.bcast(b_full, root=0)
+    with ctx.span("scalapack:distribute", nb=nb):
+        if comm.rank == 0:
+            if system is None:
+                raise ValueError("world rank 0 needs the input system")
+            a = np.asarray(system.a, dtype=np.float64)
+            n = a.shape[0]
+            shards = []
+            for r in range(nprocs):
+                pr, pc = grid.coords(r)
+                gr = global_indices(n, nb, pr, grid.nprow)
+                gc = global_indices(n, nb, pc, grid.npcol)
+                shards.append((n, a[np.ix_(gr, gc)].copy()))
+            b_full = np.asarray(system.b, dtype=np.float64).copy()
+        else:
+            shards, b_full = None, None
+        n, a_local = yield from comm.scatter(shards, root=0)
+        b = yield from comm.bcast(b_full, root=0)
 
     grows = global_indices(n, nb, myrow, grid.nprow)
     gcols = global_indices(n, nb, mycol, grid.npcol)
@@ -98,174 +99,177 @@ def pdgesv_program(ctx, comm, system=None,
     ipiv: list[int] = []
 
     # ------------------------------------------------------ factorization
-    for k0 in range(0, n, nb):
-        kb = min(nb, n - k0)
-        kblock = k0 // nb
-        pck = kblock % grid.npcol
-        prk = kblock % grid.nprow
-        panel_flops = 0.0
+    with ctx.span("scalapack:factorize", nb=nb):
+        for k0 in range(0, n, nb):
+            kb = min(nb, n - k0)
+            kblock = k0 // nb
+            pck = kblock % grid.npcol
+            prk = kblock % grid.nprow
+            panel_flops = 0.0
 
-        # ---- panel factorization (process column pck)
-        for j in range(k0, k0 + kb):
-            if opts.pivoting:
-                if mycol == pck:
-                    lj = lcol_of[j]
-                    mask = grows >= j
-                    if mask.any():
-                        seg = a_local[mask, lj]
-                        ii = int(np.argmax(np.abs(seg)))
-                        cand = (float(np.abs(seg[ii])), int(grows[mask][ii]))
+            # ---- panel factorization (process column pck)
+            for j in range(k0, k0 + kb):
+                if opts.pivoting:
+                    if mycol == pck:
+                        lj = lcol_of[j]
+                        mask = grows >= j
+                        if mask.any():
+                            seg = a_local[mask, lj]
+                            ii = int(np.argmax(np.abs(seg)))
+                            cand = (float(np.abs(seg[ii])),
+                                    int(grows[mask][ii]))
+                        else:
+                            cand = (-1.0, -1)
+                        best = yield from col_comm.allreduce(cand, op=_maxloc)
+                        piv = best[1]
                     else:
-                        cand = (-1.0, -1)
-                    best = yield from col_comm.allreduce(cand, op=_maxloc)
-                    piv = best[1]
+                        piv = None
+                    piv = yield from row_comm.bcast(piv, root=pck)
                 else:
-                    piv = None
-                piv = yield from row_comm.bcast(piv, root=pck)
+                    piv = j
+                ipiv.append(piv)
+
+                # global row swap j <-> piv (all process columns participate)
+                if piv != j:
+                    pr_j = owner_of(j, nb, grid.nprow)
+                    pr_p = owner_of(piv, nb, grid.nprow)
+                    if pr_j == pr_p:
+                        if myrow == pr_j:
+                            lj_r, lp_r = lrow_of[j], lrow_of[piv]
+                            a_local[[lj_r, lp_r], :] = a_local[[lp_r, lj_r], :]
+                    elif myrow == pr_j:
+                        row_j = a_local[lrow_of[j], :].copy()
+                        yield from col_comm.send(row_j, dest=pr_p, tag=3)
+                        other = yield from col_comm.recv(source=pr_p, tag=3)
+                        a_local[lrow_of[j], :] = other
+                    elif myrow == pr_p:
+                        row_p = a_local[lrow_of[piv], :].copy()
+                        yield from col_comm.send(row_p, dest=pr_j, tag=3)
+                        other = yield from col_comm.recv(source=pr_j, tag=3)
+                        a_local[lrow_of[piv], :] = other
+
+                # scale column j and update the panel remainder
+                if mycol == pck:
+                    src_pr = owner_of(j, nb, grid.nprow)
+                    panel_cols = [lcol_of[jj] for jj in range(j, k0 + kb)]
+                    if myrow == src_pr:
+                        prow = a_local[lrow_of[j], panel_cols].copy()
+                    else:
+                        prow = None
+                    prow = yield from col_comm.bcast(prow, root=src_pr)
+                    pivot = prow[0]
+                    if pivot == 0.0:
+                        raise SingularMatrixError(f"zero pivot at column {j}")
+                    mask = grows > j
+                    if mask.any():
+                        lj = lcol_of[j]
+                        a_local[mask, lj] /= pivot
+                        rest = panel_cols[1:]
+                        if rest:
+                            a_local[np.ix_(np.nonzero(mask)[0], rest)] -= (
+                                np.outer(a_local[mask, lj], prow[1:])
+                            )
+                        panel_flops += 2.0 * mask.sum() * (len(rest) + 0.5)
+
+            # ---- U12 block row: TRSM against L11, broadcast down columns
+            right_lcols = np.nonzero(gcols >= k0 + kb)[0]
+            if myrow == prk:
+                if mycol == pck:
+                    l11_rows = [lrow_of[g] for g in range(k0, k0 + kb)]
+                    panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
+                    l11 = a_local[np.ix_(l11_rows, panel_cols)].copy()
+                else:
+                    l11 = None
+                l11 = yield from row_comm.bcast(l11, root=pck)
+                rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
+                if len(right_lcols):
+                    u12 = scipy.linalg.solve_triangular(
+                        l11, a_local[np.ix_(rows_l, right_lcols)],
+                        lower=True, unit_diagonal=True,
+                    )
+                    a_local[np.ix_(rows_l, right_lcols)] = u12
+                    panel_flops += float(kb) * kb * len(right_lcols)
+                else:
+                    u12 = np.zeros((kb, 0))
             else:
-                piv = j
-            ipiv.append(piv)
+                u12 = None
+            u12 = yield from col_comm.bcast(u12, root=prk)
 
-            # global row swap j <-> piv (all process columns participate)
-            if piv != j:
-                pr_j = owner_of(j, nb, grid.nprow)
-                pr_p = owner_of(piv, nb, grid.nprow)
-                if pr_j == pr_p:
-                    if myrow == pr_j:
-                        lj_r, lp_r = lrow_of[j], lrow_of[piv]
-                        a_local[[lj_r, lp_r], :] = a_local[[lp_r, lj_r], :]
-                elif myrow == pr_j:
-                    row_j = a_local[lrow_of[j], :].copy()
-                    yield from col_comm.send(row_j, dest=pr_p, tag=3)
-                    other = yield from col_comm.recv(source=pr_p, tag=3)
-                    a_local[lrow_of[j], :] = other
-                elif myrow == pr_p:
-                    row_p = a_local[lrow_of[piv], :].copy()
-                    yield from col_comm.send(row_p, dest=pr_j, tag=3)
-                    other = yield from col_comm.recv(source=pr_j, tag=3)
-                    a_local[lrow_of[piv], :] = other
-
-            # scale column j and update the panel remainder
+            # ---- L21 panel broadcast along process rows
+            below_lrows = np.nonzero(grows >= k0 + kb)[0]
             if mycol == pck:
-                src_pr = owner_of(j, nb, grid.nprow)
-                panel_cols = [lcol_of[jj] for jj in range(j, k0 + kb)]
-                if myrow == src_pr:
-                    prow = a_local[lrow_of[j], panel_cols].copy()
-                else:
-                    prow = None
-                prow = yield from col_comm.bcast(prow, root=src_pr)
-                pivot = prow[0]
-                if pivot == 0.0:
-                    raise SingularMatrixError(f"zero pivot at column {j}")
-                mask = grows > j
-                if mask.any():
-                    lj = lcol_of[j]
-                    a_local[mask, lj] /= pivot
-                    rest = panel_cols[1:]
-                    if rest:
-                        a_local[np.ix_(np.nonzero(mask)[0], rest)] -= np.outer(
-                            a_local[mask, lj], prow[1:]
-                        )
-                    panel_flops += 2.0 * mask.sum() * (len(rest) + 0.5)
-
-        # ---- U12 block row: TRSM against L11, then broadcast down columns
-        right_lcols = np.nonzero(gcols >= k0 + kb)[0]
-        if myrow == prk:
-            if mycol == pck:
-                l11_rows = [lrow_of[g] for g in range(k0, k0 + kb)]
                 panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-                l11 = a_local[np.ix_(l11_rows, panel_cols)].copy()
+                l21 = a_local[np.ix_(below_lrows, panel_cols)].copy()
             else:
-                l11 = None
-            l11 = yield from row_comm.bcast(l11, root=pck)
-            rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
-            if len(right_lcols):
-                u12 = scipy.linalg.solve_triangular(
-                    l11, a_local[np.ix_(rows_l, right_lcols)],
-                    lower=True, unit_diagonal=True,
-                )
-                a_local[np.ix_(rows_l, right_lcols)] = u12
-                panel_flops += float(kb) * kb * len(right_lcols)
-            else:
-                u12 = np.zeros((kb, 0))
-        else:
-            u12 = None
-        u12 = yield from col_comm.bcast(u12, root=prk)
+                l21 = None
+            l21 = yield from row_comm.bcast(l21, root=pck)
 
-        # ---- L21 panel broadcast along process rows
-        below_lrows = np.nonzero(grows >= k0 + kb)[0]
-        if mycol == pck:
-            panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-            l21 = a_local[np.ix_(below_lrows, panel_cols)].copy()
-        else:
-            l21 = None
-        l21 = yield from row_comm.bcast(l21, root=pck)
+            # ---- trailing update (local GEMM)
+            if len(below_lrows) and len(right_lcols) and u12.shape[1]:
+                a_local[np.ix_(below_lrows, right_lcols)] -= l21 @ u12
+                panel_flops += 2.0 * len(below_lrows) * kb * len(right_lcols)
 
-        # ---- trailing update (local GEMM)
-        if len(below_lrows) and len(right_lcols) and u12.shape[1]:
-            a_local[np.ix_(below_lrows, right_lcols)] -= l21 @ u12
-            panel_flops += 2.0 * len(below_lrows) * kb * len(right_lcols)
-
-        if opts.charge_compute and panel_flops:
-            yield from ctx.compute(flops=panel_flops)
+            if opts.charge_compute and panel_flops:
+                yield from ctx.compute(flops=panel_flops)
 
     # ------------------------------------------------------------- solve
-    # Apply the recorded pivots to the (replicated) right-hand side.
-    for j, piv in enumerate(ipiv):
-        if piv != j:
-            b[j], b[piv] = b[piv], b[j]
+    with ctx.span("scalapack:substitution"):
+        # Apply the recorded pivots to the (replicated) right-hand side.
+        for j, piv in enumerate(ipiv):
+            if piv != j:
+                b[j], b[piv] = b[piv], b[j]
 
-    nblocks = (n + nb - 1) // nb
-    y = np.zeros(n)
-    for kblock in range(nblocks):
-        k0 = kblock * nb
-        kb = min(nb, n - k0)
-        prk = kblock % grid.nprow
-        pck = kblock % grid.npcol
-        y_k = None
-        if myrow == prk:
-            rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
-            left = np.nonzero(gcols < k0)[0]
-            partial = (
-                a_local[np.ix_(rows_l, left)] @ y[gcols[left]]
-                if len(left) else np.zeros(kb)
-            )
-            total = yield from row_comm.reduce(partial, root=pck)
-            if mycol == pck:
-                panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-                l_kk = a_local[np.ix_(rows_l, panel_cols)]
-                y_k = scipy.linalg.solve_triangular(
-                    l_kk, b[k0:k0 + kb] - total,
-                    lower=True, unit_diagonal=True,
+        nblocks = (n + nb - 1) // nb
+        y = np.zeros(n)
+        for kblock in range(nblocks):
+            k0 = kblock * nb
+            kb = min(nb, n - k0)
+            prk = kblock % grid.nprow
+            pck = kblock % grid.npcol
+            y_k = None
+            if myrow == prk:
+                rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
+                left = np.nonzero(gcols < k0)[0]
+                partial = (
+                    a_local[np.ix_(rows_l, left)] @ y[gcols[left]]
+                    if len(left) else np.zeros(kb)
                 )
-        y_k = yield from comm.bcast(y_k, root=grid.rank_of(prk, pck))
-        y[k0:k0 + kb] = y_k
+                total = yield from row_comm.reduce(partial, root=pck)
+                if mycol == pck:
+                    panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
+                    l_kk = a_local[np.ix_(rows_l, panel_cols)]
+                    y_k = scipy.linalg.solve_triangular(
+                        l_kk, b[k0:k0 + kb] - total,
+                        lower=True, unit_diagonal=True,
+                    )
+            y_k = yield from comm.bcast(y_k, root=grid.rank_of(prk, pck))
+            y[k0:k0 + kb] = y_k
 
-    x = np.zeros(n)
-    for kblock in range(nblocks - 1, -1, -1):
-        k0 = kblock * nb
-        kb = min(nb, n - k0)
-        prk = kblock % grid.nprow
-        pck = kblock % grid.npcol
-        x_k = None
-        if myrow == prk:
-            rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
-            right = np.nonzero(gcols >= k0 + kb)[0]
-            partial = (
-                a_local[np.ix_(rows_l, right)] @ x[gcols[right]]
-                if len(right) else np.zeros(kb)
-            )
-            total = yield from row_comm.reduce(partial, root=pck)
-            if mycol == pck:
-                panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-                u_kk = a_local[np.ix_(rows_l, panel_cols)]
-                x_k = scipy.linalg.solve_triangular(
-                    u_kk, y[k0:k0 + kb] - total, lower=False,
+        x = np.zeros(n)
+        for kblock in range(nblocks - 1, -1, -1):
+            k0 = kblock * nb
+            kb = min(nb, n - k0)
+            prk = kblock % grid.nprow
+            pck = kblock % grid.npcol
+            x_k = None
+            if myrow == prk:
+                rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
+                right = np.nonzero(gcols >= k0 + kb)[0]
+                partial = (
+                    a_local[np.ix_(rows_l, right)] @ x[gcols[right]]
+                    if len(right) else np.zeros(kb)
                 )
-        x_k = yield from comm.bcast(x_k, root=grid.rank_of(prk, pck))
-        x[k0:k0 + kb] = x_k
+                total = yield from row_comm.reduce(partial, root=pck)
+                if mycol == pck:
+                    panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
+                    u_kk = a_local[np.ix_(rows_l, panel_cols)]
+                    x_k = scipy.linalg.solve_triangular(
+                        u_kk, y[k0:k0 + kb] - total, lower=False,
+                    )
+            x_k = yield from comm.bcast(x_k, root=grid.rank_of(prk, pck))
+            x[k0:k0 + kb] = x_k
 
-    if opts.charge_compute:
-        # Substitution phase: 2n² flops spread over the grid.
-        yield from ctx.compute(flops=2.0 * n * n / nprocs)
+        if opts.charge_compute:
+            # Substitution phase: 2n² flops spread over the grid.
+            yield from ctx.compute(flops=2.0 * n * n / nprocs)
     return x

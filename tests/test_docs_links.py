@@ -1,0 +1,44 @@
+"""The documentation link checker, and the repo's docs passing it."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links", REPO / "tools" / "check_docs_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_docs_have_no_broken_links(capsys):
+    checker = _load_checker()
+    assert checker.main() == 0, capsys.readouterr().err
+
+
+def test_checker_flags_broken_and_multiline_links(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "page.md"
+    (tmp_path / "exists.md").write_text("ok\n")
+    doc.write_text(
+        "[good](exists.md)\n"
+        "[wrapped]\n(exists.md)\n"
+        "[ext](https://example.com/x)\n"
+        "[anchor](#section)\n"
+        "[frag](exists.md#part)\n"
+        "[bad](missing.md)\n"
+    )
+    problems = checker.check_file(doc)
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]
+
+
+def test_readme_and_new_docs_are_covered():
+    checker = _load_checker()
+    names = {f.name for f in checker.iter_doc_files()}
+    assert {"README.md", "architecture.md", "observability.md"} <= names

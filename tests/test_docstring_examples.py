@@ -1,0 +1,24 @@
+"""The runnable examples embedded in reference docstrings.
+
+``make doctest`` runs the same modules through pytest's doctest
+collector; this keeps them green under the plain tier-1 suite too.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.framework
+import repro.obs.metrics
+import repro.simmpi.engine
+
+
+@pytest.mark.parametrize("module", [
+    repro.simmpi.engine,
+    repro.core.framework,
+    repro.obs.metrics,
+], ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no examples"
+    assert results.failed == 0

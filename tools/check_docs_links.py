@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Verify that intra-repo Markdown links resolve to real files.
+
+Scans README.md and docs/*.md for inline links ``[text](target)`` —
+including links wrapped across a line break between ``]`` and ``(`` —
+and fails if any relative target does not exist on disk.  External
+links (http/https/mailto) and pure in-page anchors are skipped;
+fragments are stripped before the existence check.
+
+Run directly or via ``make docs-check``:
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: inline Markdown link; ``\s*`` tolerates a newline between ] and (
+LINK = re.compile(r"\[([^\]]*)\]\s*\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(2)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            try:
+                shown = path.relative_to(REPO)
+            except ValueError:
+                shown = path
+            problems.append(
+                f"{shown}:{line}: broken link "
+                f"[{match.group(1)}]({target})"
+            )
+    return problems
+
+
+def main() -> int:
+    files = iter_doc_files()
+    problems = [p for f in files for p in check_file(f)]
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not problems else f'{len(problems)} broken links'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
