@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test doctest docs-check bench figures clean
+.PHONY: install test doctest docs-check bench bench-quick figures clean
 
 install:
 	python setup.py develop
@@ -18,11 +18,19 @@ doctest:
 docs-check:
 	python tools/check_docs_links.py
 
+# Simulator wall-clock suite; refreshes the committed baseline
+# BENCH_simperf.json (see docs/performance.md).
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python tools/bench_sim.py --write
+
+# CI guard: quick points only, fail when the fast-path wall-clock
+# regresses >2x against the committed baseline.
+bench-quick:
+	PYTHONPATH=src python tools/bench_sim.py --quick --check
 
 # Regenerate every table/figure series into benchmarks/results/
-figures: bench
+figures:
+	pytest benchmarks/ --benchmark-only
 	@ls benchmarks/results/
 
 clean:

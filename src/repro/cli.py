@@ -193,6 +193,12 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import run_from_args
+
+    return run_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -268,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-p2p", action="store_true",
                    help="drop point-to-point spans (smaller traces)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the simulator itself (wall-clock, both collective modes)",
+        description=("Run the simulator wall-clock suite from "
+                     "repro.bench: end-to-end solver jobs and the "
+                     "communication skeleton, each in fast and "
+                     "message-level collective mode.  Maintains "
+                     "BENCH_simperf.json (see docs/performance.md)."),
+    )
+    from repro.bench import add_arguments as _add_bench_arguments
+    _add_bench_arguments(p)
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

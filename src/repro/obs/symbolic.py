@@ -57,6 +57,13 @@ class SymbolicOptions:
     nb: int = 64
     #: charge the cost-model flops through the rank context
     charge_compute: bool = True
+    #: replay the ScaLAPACK pivot chain for *every* column instead of one
+    #: sampled round per chunk.  The pivot chain is 3 small collectives
+    #: per column (∝ n regardless of nb) and dominates the solver's
+    #: message count, so this makes the skeleton communication-complete
+    #: — the configuration ``repro bench`` uses to time the collective
+    #: engine at paper scale.
+    pivot_per_column: bool = False
 
 
 def _chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
@@ -154,15 +161,39 @@ def scalapack_skeleton_program(ctx, comm, n: int,
             remaining = max(n - k0 - kb, 0)
             pck = kblock % grid.npcol
             prk = kblock % grid.nprow
-            # pivot chain sample: max-loc down the column, pivot along row
-            if mycol == pck:
-                best = yield from col_comm.allreduce(
-                    (1.0, k0), op=_maxloc
-                )
-                piv = best[1]
+            if opts.pivot_per_column:
+                # Full-fidelity pivot chain: max-loc down the column,
+                # pivot index along the row, pivot row down the column —
+                # once per column of the chunk's panel range, exactly as
+                # pdgesv issues them.
+                for j in range(lo * nb, min(hi * nb, n)):
+                    pcj = (j // nb) % grid.npcol
+                    prj = (j // nb) % grid.nprow
+                    if mycol == pcj:
+                        best = yield from col_comm.allreduce(
+                            (1.0, j), op=_maxloc
+                        )
+                        piv = best[1]
+                    else:
+                        piv = None
+                    yield from row_comm.bcast(piv, root=pcj)
+                    prow = 0.0 if myrow == prj else None
+                    yield from col_comm.bcast(
+                        prow, root=prj,
+                        nbytes=max(FLOAT_BYTES,
+                                   FLOAT_BYTES * (n - j) // grid.npcol),
+                    )
             else:
-                piv = None
-            yield from row_comm.bcast(piv, root=pck)
+                # pivot chain sample: max-loc down the column, pivot
+                # index along the row
+                if mycol == pck:
+                    best = yield from col_comm.allreduce(
+                        (1.0, k0), op=_maxloc
+                    )
+                    piv = best[1]
+                else:
+                    piv = None
+                yield from row_comm.bcast(piv, root=pck)
             # U12 down process columns, L21 along process rows
             u12 = 0.0 if myrow == prk else None
             yield from col_comm.bcast(

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.cluster.topology import Core
 from repro.energy.papi import PapiLibrary
 from repro.energy.rapl import RaplNode
-from repro.simmpi.engine import Delay, Now
+from repro.simmpi.engine import NOW, acquire_delay
 
 
 @dataclass(frozen=True)
@@ -113,7 +113,7 @@ class RankContext:
         if dram_bytes < 0:
             raise ValueError(f"negative dram_bytes: {dram_bytes}")
         pkg = self.rapl_node.package(self.core.socket_id)
-        t0 = yield Now()
+        t0 = yield NOW
         # The job keeps a spin interval open on every allocated core, so a
         # compute segment charges only the increment above busy-waiting.
         handle, freq_ratio = pkg.begin_core_activity(
@@ -128,8 +128,8 @@ class RankContext:
                 t=t0, args={"flops": float(flops),
                             "dram_bytes": float(dram_bytes)},
             )
-        yield Delay(dt)
-        t1 = yield Now()
+        yield acquire_delay(dt)
+        t1 = yield NOW
         pkg.end_core_activity(handle, t1)
         pkg.charge_dram_traffic(dram_bytes, t0, t1)
         if tracer is not None:
@@ -148,15 +148,15 @@ class RankContext:
         if seconds < 0:
             raise ValueError(f"negative duration: {seconds}")
         if not active:
-            yield Delay(seconds)
+            yield acquire_delay(seconds)
             return
         prof = profile if profile is not None else self.profile
         pkg = self.rapl_node.package(self.core.socket_id)
-        t0 = yield Now()
+        t0 = yield NOW
         handle, _ = pkg.begin_core_activity(
             prof.flop_util, prof.mem_util, t0, incremental_over_spin=True
         )
-        yield Delay(seconds)
-        t1 = yield Now()
+        yield acquire_delay(seconds)
+        t1 = yield NOW
         pkg.end_core_activity(handle, t1)
         self.compute_seconds += seconds

@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import functools
 import itertools
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro.simmpi import fastcoll
 from repro.simmpi.datatypes import copy_payload, payload_nbytes
-from repro.simmpi.engine import Delay, Simulator, WaitEvent
+from repro.simmpi.engine import Simulator, WaitEvent, acquire_delay
 from repro.simmpi.errors import CommMismatchError, SimMPIError
 from repro.simmpi.fabric import Fabric, UniformFabric
 
@@ -37,26 +39,26 @@ ANY_TAG = -1
 #: that share a node (shared-memory domain).
 COMM_TYPE_SHARED = "shared"
 
-_COLL_TAG_BASE = -1000
+# Collective tags live below the valid point-to-point tag range; the
+# constant lives in fastcoll so its inlined tag arithmetic stays lockstep
+# with _next_coll_tag here.
+_COLL_TAG_BASE = fastcoll._COLL_TAG_BASE
 
 
 def _traced(cat: str):
     """Wrap a blocking communicator operation in an observability span.
 
-    The wrapper is itself a generator, so the span opens when the caller
-    starts driving the operation and closes when it completes — exact
-    virtual-time brackets.  With no tracer attached (``world.tracer is
-    None``, the default) the overhead is one attribute check per call.
+    With no tracer attached (``world.tracer is None``, the default) the
+    wrapper forwards the underlying generator untouched — zero extra
+    frames on the hot path.  With a tracer, a driver generator opens the
+    span when the caller starts driving the operation and closes it when
+    the operation completes — exact virtual-time brackets.
     """
 
     def decorate(fn):
         op_name = fn.__name__
 
-        @functools.wraps(fn)
-        def wrapper(self, *args, **kwargs):
-            tracer = self.world.tracer
-            if tracer is None:
-                return (yield from fn(self, *args, **kwargs))
+        def traced_drive(self, tracer, gen):
             wrank = self.world_rank()
             span = tracer.begin_span(
                 op_name, cat=cat,
@@ -64,9 +66,16 @@ def _traced(cat: str):
                 t=self.world.sim.now, args={"comm": self.cid},
             )
             try:
-                return (yield from fn(self, *args, **kwargs))
+                return (yield from gen)
             finally:
                 tracer.end_span(span, t=self.world.sim.now)
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            tracer = self.world.tracer
+            if tracer is None:
+                return fn(self, *args, **kwargs)
+            return traced_drive(self, tracer, fn(self, *args, **kwargs))
 
         return wrapper
 
@@ -98,32 +107,76 @@ def _elementwise(op: Callable) -> Callable:
     return lifted
 
 
-@dataclass
+@functools.lru_cache(maxsize=None)
+def _binomial_tree(vrank: int, size: int) -> tuple[int | None, tuple[int, ...]]:
+    """Binomial-tree neighbours for a virtual rank (root = 0), memoized.
+
+    Children are vrank + m for every power of two m below the bit that
+    links vrank to its parent (MPICH's binomial broadcast schedule).
+    Returns ``(parent, children)`` with children in descending-mask order;
+    the tuple is shared via the cache — never mutate it.
+    """
+    parent = None
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = vrank - mask
+            break
+        mask <<= 1
+    children = []
+    mask >>= 1
+    while mask > 0:
+        child = vrank + mask
+        if child < size:
+            children.append(child)
+        mask >>= 1
+    return parent, tuple(children)
+
+
 class _Message:
-    src: int
-    tag: int
-    payload: Any
-    nbytes: int
-    arrival: float
-    seq: int
+    __slots__ = ("src", "tag", "payload", "nbytes", "arrival", "seq")
+
+    def __init__(self, src: int, tag: int, payload: Any, nbytes: int,
+                 arrival: float, seq: int):
+        self.src = src
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.arrival = arrival
+        self.seq = seq
 
 
-@dataclass
 class _PendingRecv:
-    source: int
-    tag: int
-    event: Any  # SimEvent resolved with the matched _Message
-    seq: int
+    __slots__ = ("source", "tag", "event", "seq")
+
+    def __init__(self, source: int, tag: int, event: Any, seq: int):
+        self.source = source
+        self.tag = tag
+        self.event = event  # SimEvent resolved with the matched _Message
+        self.seq = seq
 
 
 class _Mailbox:
-    """Per-(comm, dest) store of arrived messages and posted receives."""
+    """Per-(comm, dest) store of arrived messages and posted receives.
 
-    __slots__ = ("messages", "recvs", "probe_waiters")
+    The common case — an exact ``(source, tag)`` receive matching an exact
+    delivery — is O(1) through per-key FIFO indexes.  Wildcard receives
+    (``ANY_SOURCE`` and/or ``ANY_TAG``) live in a separate post-ordered
+    list; matching arbitrates between the two by global post sequence
+    number, so mixing wildcard and exact receives keeps MPI's
+    first-posted-first-matched semantics deterministically — the indexed
+    layout never reorders a match relative to the old linear scan.
+    """
+
+    __slots__ = ("messages", "_msgs_by_key", "_recvs_by_key", "_recvs_any",
+                 "probe_waiters")
 
     def __init__(self):
-        self.messages: list[_Message] = []
-        self.recvs: list[_PendingRecv] = []
+        #: seq -> message, in delivery order (dicts preserve insertion)
+        self.messages: dict[int, _Message] = {}
+        self._msgs_by_key: dict[tuple[int, int], deque] = {}
+        self._recvs_by_key: dict[tuple[int, int], deque] = {}
+        self._recvs_any: list[_PendingRecv] = []
         self.probe_waiters: list = []
 
     @staticmethod
@@ -133,27 +186,71 @@ class _Mailbox:
         )
 
     def deliver(self, msg: _Message) -> None:
-        for i, pending in enumerate(self.recvs):
-            if self._matches(msg, pending.source, pending.tag):
-                del self.recvs[i]
-                pending.event.set(msg)
-                self._wake_probes()
-                return
-        self.messages.append(msg)
+        # Candidate exact receive: FIFO head of this (src, tag) bucket.
+        key = (msg.src, msg.tag)
+        exact = self._recvs_by_key.get(key)
+        cand = exact[0] if exact else None
+        if self._recvs_any:
+            # First matching wildcard receive, in post order; the earlier
+            # *posted* of the two candidates wins (seq = global post order).
+            for pending in self._recvs_any:
+                if self._matches(msg, pending.source, pending.tag):
+                    if cand is None or pending.seq < cand.seq:
+                        cand = pending
+                    break
+        if cand is not None:
+            if exact is not None and exact and cand is exact[0]:
+                exact.popleft()
+                if not exact:
+                    del self._recvs_by_key[key]
+            else:
+                self._recvs_any.remove(cand)
+            cand.event.set(msg)
+            self._wake_probes()
+            return
+        self.messages[msg.seq] = msg
+        bucket = self._msgs_by_key.get(key)
+        if bucket is None:
+            bucket = self._msgs_by_key[key] = deque()
+        bucket.append(msg.seq)
         self._wake_probes()
 
     def _wake_probes(self) -> None:
+        # Waiters are woken in FIFO append order so repeated probes observe
+        # deliveries in a deterministic sequence.
+        if not self.probe_waiters:
+            return
         waiters, self.probe_waiters = self.probe_waiters, []
         for ev in waiters:
             ev.set(None)
 
     def post_recv(self, pending: _PendingRecv) -> None:
-        for i, msg in enumerate(self.messages):
+        if pending.source != ANY_SOURCE and pending.tag != ANY_TAG:
+            key = (pending.source, pending.tag)
+            seqs = self._msgs_by_key.get(key)
+            if seqs:
+                seq = seqs.popleft()
+                if not seqs:
+                    del self._msgs_by_key[key]
+                pending.event.set(self.messages.pop(seq))
+                return
+            bucket = self._recvs_by_key.get(key)
+            if bucket is None:
+                bucket = self._recvs_by_key[key] = deque()
+            bucket.append(pending)
+            return
+        # Wildcard receive: earliest buffered message in delivery order.
+        for seq, msg in self.messages.items():
             if self._matches(msg, pending.source, pending.tag):
-                del self.messages[i]
+                del self.messages[seq]
+                bucket = self._msgs_by_key[(msg.src, msg.tag)]
+                # seq is the oldest delivery of its key, hence the head.
+                bucket.remove(seq)
+                if not bucket:
+                    del self._msgs_by_key[(msg.src, msg.tag)]
                 pending.event.set(msg)
                 return
-        self.recvs.append(pending)
+        self._recvs_any.append(pending)
 
 
 class Request:
@@ -207,6 +304,9 @@ class World:
         self._comm_ids = itertools.count()
         self._split_registry: dict[tuple, dict] = {}
         self._msg_seq = itertools.count()
+        #: rendezvous records of in-flight fast-path collectives, keyed by
+        #: (cid, tag); see :mod:`repro.simmpi.fastcoll`
+        self._fast_colls: dict[tuple, Any] = {}
         self.track_traffic = track_traffic
         #: aggregate traffic statistics (message count / bytes, split by scope)
         self.stats = TrafficStats()
@@ -275,20 +375,20 @@ class Communicator:
         self.cid = cid
         self.rank = rank
         self._group = list(group)  # group[i] = world rank of comm rank i
+        #: group size (plain attribute — hot on the collective fast path)
+        self.size = len(self._group)
+        #: node of each comm rank, precomputed (placement is immutable)
+        self._nodes = [world.node_of(g) for g in self._group]
         self.parent = parent
         self._coll_seq = 0
         self._split_seq = 0
 
     # ------------------------------------------------------------------ info
-    @property
-    def size(self) -> int:
-        return len(self._group)
-
     def world_rank(self, rank: int | None = None) -> int:
         return self._group[self.rank if rank is None else rank]
 
     def node_of(self, rank: int) -> int:
-        return self.world.node_of(self._group[rank])
+        return self._nodes[rank]
 
     def group(self) -> list[int]:
         return list(self._group)
@@ -340,7 +440,7 @@ class Communicator:
         )
         box = world._mailbox(self.cid, dest)
         world.sim.call_at(msg.arrival, box.deliver, msg)
-        done = world.sim.event(name=f"isend:{self.cid}:{self.rank}->{dest}")
+        done = world.sim.event(name="isend")
         # Eager protocol: the send completes once the CPU overhead elapses.
         world.sim.call_at(
             world.sim.now + world.fabric.cpu_overhead(size), done.set, None
@@ -359,7 +459,7 @@ class Communicator:
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
         world = self.world
-        ev = world.sim.event(name=f"irecv:{self.cid}:{self.rank}")
+        ev = world.sim.event(name="irecv")
         box = world._mailbox(self.cid, self.rank)
         box.post_recv(_PendingRecv(source=source, tag=tag, event=ev,
                                    seq=next(world._msg_seq)))
@@ -386,14 +486,14 @@ class Communicator:
             if info is not None:
                 return info
             # Wait for the next delivery to this mailbox.
-            ev = world.sim.event(name=f"probe:{self.cid}:{self.rank}")
+            ev = world.sim.event(name="probe")
             box.probe_waiters.append(ev)
             yield WaitEvent(ev)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Non-blocking probe; returns the envelope or ``None``."""
         box = self.world._mailbox(self.cid, self.rank)
-        for msg in box.messages:
+        for msg in box.messages.values():
             if _Mailbox._matches(msg, source, tag):
                 return {"source": msg.src, "tag": msg.tag,
                         "nbytes": msg.nbytes}
@@ -439,14 +539,14 @@ class Communicator:
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
         world = self.world
-        ev = world.sim.event(name=f"recv:{self.cid}:{self.rank}")
+        ev = world.sim.event(name="recv")
         box = world._mailbox(self.cid, self.rank)
         box.post_recv(_PendingRecv(source=source, tag=tag, event=ev,
                                    seq=next(world._msg_seq)))
         msg: _Message = yield WaitEvent(ev)
         overhead = world.fabric.cpu_overhead(msg.nbytes)
         if overhead > 0:
-            yield Delay(overhead)
+            yield acquire_delay(overhead)
         if with_status:
             return msg.payload, {"source": msg.src, "tag": msg.tag,
                                  "nbytes": msg.nbytes}
@@ -465,28 +565,47 @@ class Communicator:
     @staticmethod
     def _binomial_parent_children(vrank: int, size: int) -> tuple[int | None, list[int]]:
         """Binomial-tree neighbours for a virtual rank (root = 0)."""
-        parent = None
-        mask = 1
-        while mask < size:
-            if vrank & mask:
-                parent = vrank - mask
-                break
-            mask <<= 1
-        # Children are vrank + m for every power of two m below the bit that
-        # links vrank to its parent (MPICH's binomial broadcast schedule).
-        children = []
-        mask >>= 1
-        while mask > 0:
-            child = vrank + mask
-            if child < size:
-                children.append(child)
-            mask >>= 1
-        return parent, children
+        return _binomial_tree(vrank, size)
 
-    @_traced("coll")
+    def _coll_span(self, op_name: str, gen):
+        """Drive a collective generator inside an observability span.
+
+        Only reached with a tracer attached; the hot dispatchers below
+        hand the underlying generator straight to the caller otherwise
+        (same span brackets as :func:`_traced`, minus the per-call
+        wrapper on the untraced path).
+        """
+        tracer = self.world.tracer
+        wrank = self.world_rank()
+        span = tracer.begin_span(
+            op_name, cat="coll",
+            pid=self.world.node_of(wrank), tid=wrank,
+            t=self.world.sim.now, args={"comm": self.cid},
+        )
+        try:
+            return (yield from gen)
+        finally:
+            tracer.end_span(span, t=self.world.sim.now)
+
     def bcast(self, payload: Any, root: int = 0, nbytes: int | None = None):
-        """Binomial-tree broadcast; every rank returns the payload."""
-        self._check_rank(root, "root")
+        """Binomial-tree broadcast; every rank returns the payload.
+
+        With :attr:`Simulator.fast_collectives` the completion times are
+        computed in closed form from the same cost model (see
+        :mod:`repro.simmpi.fastcoll`); the message-level tree below is the
+        validation reference.
+        """
+        if not 0 <= root < self.size:
+            raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
+        world = self.world
+        gen = (fastcoll.fast_bcast(self, payload, root, nbytes)
+               if world.sim.fast_collectives
+               else self._bcast_message(payload, root, nbytes))
+        if world.tracer is None:
+            return gen
+        return self._coll_span("bcast", gen)
+
+    def _bcast_message(self, payload, root, nbytes):
         tag = self._next_coll_tag()
         size = self.size
         if size == 1:
@@ -501,7 +620,6 @@ class Communicator:
                                  nbytes=data_bytes)
         return payload
 
-    @_traced("coll")
     def gather(self, payload: Any, root: int = 0):
         """Binomial-tree gather to root (MPICH's short-message schedule).
 
@@ -509,7 +627,17 @@ class Communicator:
         forward them upward, so the critical path is log₂(P) transfers.
         Root returns the rank-ordered list; everyone else returns None.
         """
-        self._check_rank(root, "root")
+        if not 0 <= root < self.size:
+            raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
+        world = self.world
+        gen = (fastcoll.fast_gather(self, payload, root)
+               if world.sim.fast_collectives
+               else self._gather_message(payload, root))
+        if world.tracer is None:
+            return gen
+        return self._coll_span("gather", gen)
+
+    def _gather_message(self, payload, root):
         tag = self._next_coll_tag()
         size = self.size
         acc: dict[int, Any] = {self.rank: copy_payload(payload)}
@@ -525,10 +653,19 @@ class Communicator:
             return None
         return [acc[r] for r in range(size)]
 
-    @_traced("coll")
     def scatter(self, payloads: list | None, root: int = 0):
         """Flat scatter from root; every rank returns its element."""
-        self._check_rank(root, "root")
+        if not 0 <= root < self.size:
+            raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
+        world = self.world
+        gen = (fastcoll.fast_scatter(self, payloads, root)
+               if world.sim.fast_collectives
+               else self._scatter_message(payloads, root))
+        if world.tracer is None:
+            return gen
+        return self._coll_span("scatter", gen)
+
+    def _scatter_message(self, payloads, root):
         tag = self._next_coll_tag()
         if self.rank == root:
             if payloads is None or len(payloads) != self.size:
@@ -544,10 +681,19 @@ class Communicator:
         item = yield from self.recv(source=root, tag=tag)
         return item
 
-    @_traced("coll")
     def reduce(self, payload: Any, op: Callable = SUM, root: int = 0):
         """Binomial-tree reduction to root (op must be associative)."""
-        self._check_rank(root, "root")
+        if not 0 <= root < self.size:
+            raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
+        world = self.world
+        gen = (fastcoll.fast_reduce(self, payload, op, root)
+               if world.sim.fast_collectives
+               else self._reduce_message(payload, op, root))
+        if world.tracer is None:
+            return gen
+        return self._coll_span("reduce", gen)
+
+    def _reduce_message(self, payload, op, root):
         tag = self._next_coll_tag()
         size = self.size
         acc = copy_payload(payload)
@@ -565,14 +711,31 @@ class Communicator:
             return None
         return acc
 
-    @_traced("coll")
     def allreduce(self, payload: Any, op: Callable = SUM):
+        # Untraced fast path: fused reduce+bcast — one suspension per rank,
+        # bit-identical virtual times.  Traced (or message-level) runs keep
+        # the composition so nested reduce/bcast spans appear as usual.
+        world = self.world
+        if world.tracer is None:
+            if world.sim.fast_collectives:
+                return fastcoll.fast_allreduce(self, payload, op)
+            return self._allreduce_compose(payload, op)
+        return self._coll_span("allreduce", self._allreduce_compose(payload, op))
+
+    def _allreduce_compose(self, payload, op):
         acc = yield from self.reduce(payload, op=op, root=0)
         acc = yield from self.bcast(acc, root=0)
         return acc
 
-    @_traced("coll")
     def allgather(self, payload: Any):
+        world = self.world
+        if world.tracer is None:
+            if world.sim.fast_collectives:
+                return fastcoll.fast_allgather(self, payload)
+            return self._allgather_compose(payload)
+        return self._coll_span("allgather", self._allgather_compose(payload))
+
+    def _allgather_compose(self, payload):
         gathered = yield from self.gather(payload, root=0)
         gathered = yield from self.bcast(gathered, root=0)
         return gathered
@@ -634,9 +797,16 @@ class Communicator:
             yield from req.wait()
         return out
 
-    @_traced("coll")
     def barrier(self):
         """Synchronize all ranks (reduce + bcast of an empty token)."""
+        world = self.world
+        if world.tracer is None:
+            if world.sim.fast_collectives:
+                return fastcoll.fast_barrier(self)
+            return self._barrier_compose()
+        return self._coll_span("barrier", self._barrier_compose())
+
+    def _barrier_compose(self):
         token = yield from self.reduce(0, op=SUM, root=0)
         yield from self.bcast(token, root=0)
 

@@ -20,6 +20,13 @@ DEFAULT_OBJECT_BYTES = 8
 
 def payload_nbytes(payload: Any) -> int:
     """Best-effort wire size of a payload in bytes."""
+    # Exact-type fast paths first: scalars and plain ndarrays are the
+    # overwhelming majority of simulated payloads (pivot tuples, shards).
+    t = type(payload)
+    if t is float or t is int or t is bool:
+        return DEFAULT_OBJECT_BYTES
+    if t is np.ndarray:
+        return int(payload.nbytes)
     if payload is None:
         return 0
     if isinstance(payload, np.ndarray):
@@ -46,8 +53,26 @@ def copy_payload(payload: Any) -> Any:
     """Copy-on-send, mirroring MPI buffer semantics for mutable buffers.
 
     Numpy arrays are copied; immutable scalars/strings pass through; python
-    containers are shallow-copied with their ndarray leaves copied.
+    containers are shallow-copied with their ndarray leaves copied.  Tuples
+    whose items are all immutable scalars are shared, not rebuilt (tuples
+    are immutable, so sharing is indistinguishable from copying).
     """
+    t = type(payload)
+    if t is np.ndarray:
+        return payload.copy()
+    if t is float or t is int or t is str or t is bool or payload is None:
+        return payload
+    if t is tuple:
+        for item in payload:
+            ti = type(item)
+            if not (ti is float or ti is int or ti is str or ti is bool
+                    or item is None):
+                return tuple(copy_payload(item) for item in payload)
+        return payload
+    if t is list:
+        return [copy_payload(item) for item in payload]
+    if t is dict:
+        return {k: copy_payload(v) for k, v in payload.items()}
     if isinstance(payload, np.ndarray):
         return payload.copy()
     if isinstance(payload, list):

@@ -11,10 +11,15 @@ Rank programs (and any helper coroutine) are plain Python generators that
     Resume immediately with the current virtual time as the sent value.
 ``WaitEvent(ev)``
     Block until ``ev.set(value)`` is called; resumes with ``value``.
+``Park(slots, index)``
+    Register this process into ``slots[index]`` and suspend until another
+    process schedules its resume (the fast-collective rendezvous).
+``SleepUntil(t)``
+    Sleep to the exact absolute virtual time ``t``.
 
 Composite operations (message passing, collectives, monitoring) are generator
 functions delegated to with ``yield from``, so the engine only ever sees the
-three primitives above.  Determinism is guaranteed by a monotonically
+primitives above.  Determinism is guaranteed by a monotonically
 increasing sequence number that breaks ties between events scheduled at the
 same virtual time.
 
@@ -57,33 +62,114 @@ enabled (tracers are pure observers).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
 
 from repro.simmpi.errors import DeadlockError
 
 
-@dataclass(frozen=True)
 class Delay:
-    """Primitive syscall: advance this process ``dt`` seconds of virtual time."""
+    """Primitive syscall: advance this process ``dt`` seconds of virtual time.
 
-    dt: float
+    Syscall objects are consumed synchronously by the engine, so the hot
+    paths (``sleep``, compute charging, message overheads) recycle them
+    through a small free list instead of allocating one per yield — see
+    :func:`acquire_delay`.  Directly constructed instances are never
+    pooled, so holding on to one is always safe.
+    """
 
-    def __post_init__(self):
-        if self.dt < 0:
-            raise ValueError(f"negative delay: {self.dt}")
+    __slots__ = ("dt", "_pooled")
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"negative delay: {dt}")
+        self.dt = dt
+        self._pooled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay(dt={self.dt!r})"
 
 
-@dataclass(frozen=True)
+#: free list of recyclable :class:`Delay` instances (bounded)
+_DELAY_POOL: list[Delay] = []
+_DELAY_POOL_CAP = 256
+
+
+def acquire_delay(dt: float) -> Delay:
+    """A pooled :class:`Delay`; the engine recycles it after dispatch."""
+    if _DELAY_POOL:
+        d = _DELAY_POOL.pop()
+        if dt < 0:
+            _DELAY_POOL.append(d)
+            raise ValueError(f"negative delay: {dt}")
+        d.dt = dt
+        return d
+    d = Delay(dt)
+    d._pooled = True
+    return d
+
+
 class Now:
     """Primitive syscall: resume immediately with the current virtual time."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Now()"
+
+
+#: shared stateless instance — yielding ``NOW`` avoids an allocation
+NOW = Now()
+
+
 class WaitEvent:
     """Primitive syscall: block until the event fires."""
 
-    event: "SimEvent"
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent"):
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitEvent(event={self.event!r})"
+
+
+class Park:
+    """Primitive syscall: suspend until another process resumes this one.
+
+    The engine stores the parked :class:`Process` into ``slots[index]`` and
+    forgets about it; whoever holds the slot resumes the process with
+    ``sim.schedule_at(t, proc._step, value)`` (the sent ``value`` becomes
+    the yield's result).  This is the cheapest possible rendezvous — no
+    event object, no callback list — and is what the closed-form collective
+    engine (:mod:`repro.simmpi.fastcoll`) parks ranks on.
+    """
+
+    __slots__ = ("slots", "index")
+
+    def __init__(self, slots: list, index: int):
+        self.slots = slots
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Park(index={self.index!r})"
+
+
+class SleepUntil:
+    """Primitive syscall: sleep to an *absolute* virtual time.
+
+    Unlike :class:`Delay` the engine schedules the resume with
+    :meth:`Simulator.schedule_at`, so the wake-up timestamp is bit-identical
+    to ``until`` (no relative round trip) — the fast collective path relies
+    on this to reproduce message-level completion times exactly.
+    """
+
+    __slots__ = ("until",)
+
+    def __init__(self, until: float):
+        self.until = until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SleepUntil(until={self.until!r})"
 
 
 class SimEvent:
@@ -156,7 +242,8 @@ class Process:
         self.done = False
         self.result: Any = None
         self.error: BaseException | None = None
-        self._blocked_on: str = "start"
+        #: "start"/"running"/"delay", or the SimEvent being waited on
+        self._blocked_on: Any = "start"
         self.finished_event = SimEvent(sim, name=f"finish:{name}")
         self.finish_time: float | None = None
 
@@ -184,15 +271,31 @@ class Process:
             self.sim._fail(self, exc)
             return
 
-        if isinstance(syscall, Delay):
-            self._blocked_on = f"delay({syscall.dt:g})"
+        # Exact-type dispatch: syscalls are final __slots__ classes, and
+        # ``type is`` beats isinstance on this hottest of paths.
+        st = type(syscall)
+        if st is Delay:
+            # _blocked_on stays a cheap constant; __repr__ renders detail.
+            self._blocked_on = "delay"
             if tracer is not None:
                 tracer.on_process_block(self.name, "delay", self.sim.now)
             self.sim._schedule(syscall.dt, self._step, None)
-        elif isinstance(syscall, Now):
+            if syscall._pooled and len(_DELAY_POOL) < _DELAY_POOL_CAP:
+                _DELAY_POOL.append(syscall)
+        elif st is SleepUntil:
+            self._blocked_on = "sleep"
+            if tracer is not None:
+                tracer.on_process_block(self.name, "sleep", self.sim.now)
+            self.sim.schedule_at(syscall.until, self._step, None)
+        elif st is Park:
+            self._blocked_on = "park"
+            if tracer is not None:
+                tracer.on_process_block(self.name, "park", self.sim.now)
+            syscall.slots[syscall.index] = self
+        elif st is Now:
             self._step(self.sim.now)
-        elif isinstance(syscall, WaitEvent):
-            self._blocked_on = f"wait({syscall.event.name})"
+        elif st is WaitEvent:
+            self._blocked_on = syscall.event
             if tracer is not None:
                 tracer.on_process_block(self.name, "wait", self.sim.now)
             syscall.event._add_waiter(self)
@@ -207,7 +310,12 @@ class Process:
             self.sim._fail(self, err)
 
     def __repr__(self) -> str:
-        state = "done" if self.done else self._blocked_on
+        if self.done:
+            state = "done"
+        elif isinstance(self._blocked_on, SimEvent):
+            state = f"wait({self._blocked_on.name})"
+        else:
+            state = self._blocked_on
         return f"<Process {self.name} {state}>"
 
 
@@ -229,7 +337,7 @@ class Simulator:
     ('ok', [None])
     """
 
-    def __init__(self):
+    def __init__(self, fast_collectives: bool = True):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, Any]] = []
         self._seq = 0
@@ -238,6 +346,11 @@ class Simulator:
         #: observability hook (see :mod:`repro.obs.tracer`); ``None`` keeps
         #: every hook site a single attribute check
         self.tracer = None
+        #: communicators built on this simulator compute collective
+        #: completion times in closed form instead of spawning per-hop
+        #: messages (see :mod:`repro.simmpi.fastcoll`); the message-level
+        #: path is kept for validation via ``fast_collectives=False``
+        self.fast_collectives = fast_collectives
 
     @property
     def now(self) -> float:
@@ -255,6 +368,16 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         self._schedule(time - self._now, fn, arg)
+
+    def schedule_at(self, time: float, fn: Callable, arg: Any = None) -> None:
+        """Schedule at an *exact* absolute virtual time (no round trip
+        through a relative delay, so the heap key is bit-identical to
+        ``time`` — the fast collective path relies on this to reproduce
+        message-level timestamps exactly)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, arg))
 
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Register a generator as a process; it starts at the current time."""
@@ -308,13 +431,22 @@ class Simulator:
 
 def sleep(dt: float):
     """Convenience coroutine: ``yield from sleep(dt)``."""
-    yield Delay(dt)
+    yield acquire_delay(dt)
 
 
 def now():
     """Convenience coroutine: ``t = yield from now()``."""
-    t = yield Now()
+    t = yield NOW
     return t
+
+
+def wake_at(sim: Simulator, time: float):
+    """Coroutine: block until the exact absolute virtual time ``time``.
+
+    ``time`` must be ``>= sim.now``; resumes via :class:`SleepUntil`, so
+    the wake-up timestamp is bit-identical to ``time``.
+    """
+    yield SleepUntil(time)
 
 
 def wait(event: SimEvent):

@@ -29,6 +29,7 @@ levels) so the performance model reflects the paper's algorithm.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,9 +49,15 @@ class ImeOptions:
     broadcast_solution: bool = False
 
 
+@functools.lru_cache(maxsize=None)
 def _owned_columns(n: int, size: int, rank: int) -> np.ndarray:
-    """Cyclic column distribution: rank owns columns rank, rank+N, …"""
-    return np.arange(rank, n, size)
+    """Cyclic column distribution: rank owns columns rank, rank+N, …
+
+    Cached (called once per level per rank); the array is read-only.
+    """
+    cols = np.arange(rank, n, size)
+    cols.flags.writeable = False
+    return cols
 
 
 def _level_flops_per_rank(n: int, level: int, size: int) -> float:

@@ -6,9 +6,16 @@ block size ``nb`` over ``p`` processes lives in block ``g // nb``, on
 process ``(g // nb) % p``, at local block ``g // (nb·p)``.  These helpers
 are the 1D primitives; 2D layouts apply them independently to rows and
 columns.
+
+All helpers are memoized: simulated solvers call them once per (row,
+column, step) triple, so the same handful of argument tuples repeat
+millions of times in a paper-scale run.  :func:`global_indices` returns a
+cached **read-only** array — callers that need to mutate must copy.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -20,6 +27,7 @@ def _check(nb: int, nprocs: int) -> None:
         raise ValueError(f"process count must be positive: {nprocs}")
 
 
+@functools.lru_cache(maxsize=None)
 def numroc(n: int, nb: int, iproc: int, nprocs: int) -> int:
     """NUMber of Rows Or Columns: local extent of a global dimension.
 
@@ -41,6 +49,7 @@ def numroc(n: int, nb: int, iproc: int, nprocs: int) -> int:
     return base
 
 
+@functools.lru_cache(maxsize=None)
 def owner_of(g: int, nb: int, nprocs: int) -> int:
     """Process owning global index ``g``."""
     _check(nb, nprocs)
@@ -49,6 +58,7 @@ def owner_of(g: int, nb: int, nprocs: int) -> int:
     return (g // nb) % nprocs
 
 
+@functools.lru_cache(maxsize=None)
 def local_index(g: int, nb: int, nprocs: int) -> int:
     """Local index of global index ``g`` on its owning process."""
     _check(nb, nprocs)
@@ -58,6 +68,7 @@ def local_index(g: int, nb: int, nprocs: int) -> int:
     return local_block * nb + g % nb
 
 
+@functools.lru_cache(maxsize=None)
 def global_index(l: int, nb: int, iproc: int, nprocs: int) -> int:
     """Global index of local index ``l`` on process ``iproc``."""
     _check(nb, nprocs)
@@ -67,10 +78,16 @@ def global_index(l: int, nb: int, iproc: int, nprocs: int) -> int:
     return (local_block * nprocs + iproc) * nb + l % nb
 
 
+@functools.lru_cache(maxsize=None)
 def global_indices(n: int, nb: int, iproc: int, nprocs: int) -> np.ndarray:
-    """All global indices owned by ``iproc``, in local storage order."""
+    """All global indices owned by ``iproc``, in local storage order.
+
+    The returned array is cached and marked read-only; copy before
+    mutating.
+    """
     _check(nb, nprocs)
-    out = []
-    for block_start in range(iproc * nb, n, nb * nprocs):
-        out.extend(range(block_start, min(block_start + nb, n)))
-    return np.asarray(out, dtype=np.int64)
+    nloc = numroc(n, nb, iproc, nprocs)
+    local = np.arange(nloc, dtype=np.int64)
+    out = (local // nb * nprocs + iproc) * nb + local % nb
+    out.flags.writeable = False
+    return out

@@ -30,7 +30,11 @@ import numpy as np
 import scipy.linalg
 
 from repro.solvers.dense import SingularMatrixError
-from repro.solvers.scalapack.blockcyclic import global_indices, owner_of
+from repro.solvers.scalapack.blockcyclic import (
+    global_indices,
+    local_index,
+    owner_of,
+)
 from repro.solvers.scalapack.grid import ProcessGrid
 
 
@@ -93,31 +97,38 @@ def pdgesv_program(ctx, comm, system=None,
 
     grows = global_indices(n, nb, myrow, grid.nprow)
     gcols = global_indices(n, nb, mycol, grid.npcol)
-    lrow_of = {int(g): i for i, g in enumerate(grows)}
-    lcol_of = {int(g): i for i, g in enumerate(gcols)}
+    nlrow, nlcol = len(grows), len(gcols)
 
     ipiv: list[int] = []
 
     # ------------------------------------------------------ factorization
     with ctx.span("scalapack:factorize", nb=nb):
+        # A block [k0, k0+nb) never straddles a distribution block, so its
+        # local rows/columns on the owning process are one contiguous
+        # slice starting at ``local_index(k0, ...)``; with sorted
+        # grows/gcols, the "at or past k0" sets are suffix slices found by
+        # ``searchsorted``.  Plain slices replace dict lookups and
+        # ``np.ix_`` scatter/gather on every hot path below.
         for k0 in range(0, n, nb):
             kb = min(nb, n - k0)
             kblock = k0 // nb
             pck = kblock % grid.npcol
             prk = kblock % grid.nprow
+            lc0 = local_index(k0, nb, grid.npcol)  # valid iff mycol == pck
+            lr0 = local_index(k0, nb, grid.nprow)  # valid iff myrow == prk
             panel_flops = 0.0
 
             # ---- panel factorization (process column pck)
             for j in range(k0, k0 + kb):
                 if opts.pivoting:
                     if mycol == pck:
-                        lj = lcol_of[j]
-                        mask = grows >= j
-                        if mask.any():
-                            seg = a_local[mask, lj]
+                        lj = lc0 + (j - k0)
+                        i0 = int(np.searchsorted(grows, j))
+                        if i0 < nlrow:
+                            seg = a_local[i0:, lj]
                             ii = int(np.argmax(np.abs(seg)))
                             cand = (float(np.abs(seg[ii])),
-                                    int(grows[mask][ii]))
+                                    int(grows[i0 + ii]))
                         else:
                             cand = (-1.0, -1)
                         best = yield from col_comm.allreduce(cand, op=_maxloc)
@@ -135,60 +146,61 @@ def pdgesv_program(ctx, comm, system=None,
                     pr_p = owner_of(piv, nb, grid.nprow)
                     if pr_j == pr_p:
                         if myrow == pr_j:
-                            lj_r, lp_r = lrow_of[j], lrow_of[piv]
+                            lj_r = local_index(j, nb, grid.nprow)
+                            lp_r = local_index(piv, nb, grid.nprow)
                             a_local[[lj_r, lp_r], :] = a_local[[lp_r, lj_r], :]
                     elif myrow == pr_j:
-                        row_j = a_local[lrow_of[j], :].copy()
+                        lj_r = local_index(j, nb, grid.nprow)
+                        row_j = a_local[lj_r, :].copy()
                         yield from col_comm.send(row_j, dest=pr_p, tag=3)
                         other = yield from col_comm.recv(source=pr_p, tag=3)
-                        a_local[lrow_of[j], :] = other
+                        a_local[lj_r, :] = other
                     elif myrow == pr_p:
-                        row_p = a_local[lrow_of[piv], :].copy()
+                        lp_r = local_index(piv, nb, grid.nprow)
+                        row_p = a_local[lp_r, :].copy()
                         yield from col_comm.send(row_p, dest=pr_j, tag=3)
                         other = yield from col_comm.recv(source=pr_j, tag=3)
-                        a_local[lrow_of[piv], :] = other
+                        a_local[lp_r, :] = other
 
                 # scale column j and update the panel remainder
                 if mycol == pck:
                     src_pr = owner_of(j, nb, grid.nprow)
-                    panel_cols = [lcol_of[jj] for jj in range(j, k0 + kb)]
+                    lj = lc0 + (j - k0)
+                    lc_end = lc0 + kb
                     if myrow == src_pr:
-                        prow = a_local[lrow_of[j], panel_cols].copy()
+                        lj_r = local_index(j, nb, grid.nprow)
+                        prow = a_local[lj_r, lj:lc_end].copy()
                     else:
                         prow = None
                     prow = yield from col_comm.bcast(prow, root=src_pr)
                     pivot = prow[0]
                     if pivot == 0.0:
                         raise SingularMatrixError(f"zero pivot at column {j}")
-                    mask = grows > j
-                    if mask.any():
-                        lj = lcol_of[j]
-                        a_local[mask, lj] /= pivot
-                        rest = panel_cols[1:]
+                    i1 = int(np.searchsorted(grows, j, side="right"))
+                    if i1 < nlrow:
+                        a_local[i1:, lj] /= pivot
+                        rest = lc_end - lj - 1
                         if rest:
-                            a_local[np.ix_(np.nonzero(mask)[0], rest)] -= (
-                                np.outer(a_local[mask, lj], prow[1:])
+                            a_local[i1:, lj + 1:lc_end] -= (
+                                np.outer(a_local[i1:, lj], prow[1:])
                             )
-                        panel_flops += 2.0 * mask.sum() * (len(rest) + 0.5)
+                        panel_flops += 2.0 * (nlrow - i1) * (rest + 0.5)
 
             # ---- U12 block row: TRSM against L11, broadcast down columns
-            right_lcols = np.nonzero(gcols >= k0 + kb)[0]
+            c_r = int(np.searchsorted(gcols, k0 + kb))
             if myrow == prk:
                 if mycol == pck:
-                    l11_rows = [lrow_of[g] for g in range(k0, k0 + kb)]
-                    panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-                    l11 = a_local[np.ix_(l11_rows, panel_cols)].copy()
+                    l11 = a_local[lr0:lr0 + kb, lc0:lc0 + kb].copy()
                 else:
                     l11 = None
                 l11 = yield from row_comm.bcast(l11, root=pck)
-                rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
-                if len(right_lcols):
+                if c_r < nlcol:
                     u12 = scipy.linalg.solve_triangular(
-                        l11, a_local[np.ix_(rows_l, right_lcols)],
+                        l11, a_local[lr0:lr0 + kb, c_r:],
                         lower=True, unit_diagonal=True,
                     )
-                    a_local[np.ix_(rows_l, right_lcols)] = u12
-                    panel_flops += float(kb) * kb * len(right_lcols)
+                    a_local[lr0:lr0 + kb, c_r:] = u12
+                    panel_flops += float(kb) * kb * (nlcol - c_r)
                 else:
                     u12 = np.zeros((kb, 0))
             else:
@@ -196,18 +208,17 @@ def pdgesv_program(ctx, comm, system=None,
             u12 = yield from col_comm.bcast(u12, root=prk)
 
             # ---- L21 panel broadcast along process rows
-            below_lrows = np.nonzero(grows >= k0 + kb)[0]
+            r_b = int(np.searchsorted(grows, k0 + kb))
             if mycol == pck:
-                panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-                l21 = a_local[np.ix_(below_lrows, panel_cols)].copy()
+                l21 = a_local[r_b:, lc0:lc0 + kb].copy()
             else:
                 l21 = None
             l21 = yield from row_comm.bcast(l21, root=pck)
 
             # ---- trailing update (local GEMM)
-            if len(below_lrows) and len(right_lcols) and u12.shape[1]:
-                a_local[np.ix_(below_lrows, right_lcols)] -= l21 @ u12
-                panel_flops += 2.0 * len(below_lrows) * kb * len(right_lcols)
+            if r_b < nlrow and c_r < nlcol and u12.shape[1]:
+                a_local[r_b:, c_r:] -= l21 @ u12
+                panel_flops += 2.0 * (nlrow - r_b) * kb * (nlcol - c_r)
 
             if opts.charge_compute and panel_flops:
                 yield from ctx.compute(flops=panel_flops)
@@ -228,16 +239,16 @@ def pdgesv_program(ctx, comm, system=None,
             pck = kblock % grid.npcol
             y_k = None
             if myrow == prk:
-                rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
-                left = np.nonzero(gcols < k0)[0]
+                lr0 = local_index(k0, nb, grid.nprow)
+                c_l = int(np.searchsorted(gcols, k0))
                 partial = (
-                    a_local[np.ix_(rows_l, left)] @ y[gcols[left]]
-                    if len(left) else np.zeros(kb)
+                    a_local[lr0:lr0 + kb, :c_l] @ y[gcols[:c_l]]
+                    if c_l else np.zeros(kb)
                 )
                 total = yield from row_comm.reduce(partial, root=pck)
                 if mycol == pck:
-                    panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-                    l_kk = a_local[np.ix_(rows_l, panel_cols)]
+                    lc0 = local_index(k0, nb, grid.npcol)
+                    l_kk = a_local[lr0:lr0 + kb, lc0:lc0 + kb]
                     y_k = scipy.linalg.solve_triangular(
                         l_kk, b[k0:k0 + kb] - total,
                         lower=True, unit_diagonal=True,
@@ -253,16 +264,16 @@ def pdgesv_program(ctx, comm, system=None,
             pck = kblock % grid.npcol
             x_k = None
             if myrow == prk:
-                rows_l = [lrow_of[g] for g in range(k0, k0 + kb)]
-                right = np.nonzero(gcols >= k0 + kb)[0]
+                lr0 = local_index(k0, nb, grid.nprow)
+                c_r = int(np.searchsorted(gcols, k0 + kb))
                 partial = (
-                    a_local[np.ix_(rows_l, right)] @ x[gcols[right]]
-                    if len(right) else np.zeros(kb)
+                    a_local[lr0:lr0 + kb, c_r:] @ x[gcols[c_r:]]
+                    if c_r < nlcol else np.zeros(kb)
                 )
                 total = yield from row_comm.reduce(partial, root=pck)
                 if mycol == pck:
-                    panel_cols = [lcol_of[g] for g in range(k0, k0 + kb)]
-                    u_kk = a_local[np.ix_(rows_l, panel_cols)]
+                    lc0 = local_index(k0, nb, grid.npcol)
+                    u_kk = a_local[lr0:lr0 + kb, lc0:lc0 + kb]
                     x_k = scipy.linalg.solve_triangular(
                         u_kk, y[k0:k0 + kb] - total, lower=False,
                     )

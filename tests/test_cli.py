@@ -90,3 +90,42 @@ def test_figure_csv_export(tmp_path, capsys):
     lines = out_csv.read_text().splitlines()
     assert lines[0].startswith("algorithm,series,x")
     assert len(lines) == 25  # header + 24 data points
+
+
+def _tiny_bench_points(monkeypatch):
+    from repro import bench
+
+    monkeypatch.setattr(
+        bench, "DEFAULT_POINTS",
+        (bench.BenchPoint("ime", 96, 4, quick=True),
+         bench.BenchPoint("scalapack-skel", 192, 4, nb=24)),
+    )
+
+
+def test_bench_json(monkeypatch, capsys):
+    import json
+
+    _tiny_bench_points(monkeypatch)
+    assert main(["bench", "--json"]) == 0
+    out = capsys.readouterr().out
+    report = json.loads(out[out.index("{"):])
+    labels = {p["label"] for p in report["points"]}
+    assert labels == {"ime-n96-p4", "scalapack-skel-n192-p4"}
+    for p in report["points"]:
+        assert p["results"]["fast"]["virtual_s"] == \
+            p["results"]["message"]["virtual_s"]
+        assert p["speedup"] > 0
+
+
+def test_bench_table_write_and_check(monkeypatch, tmp_path, capsys):
+    _tiny_bench_points(monkeypatch)
+    baseline = tmp_path / "baseline.json"
+    assert main(["bench", "--quick", "--modes", "fast", "--table",
+                 "--write", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "ime-n96-p4" in out and "wall_s" in out
+    assert baseline.exists()
+    # Same machine, same points: the regression guard must pass.
+    assert main(["bench", "--quick", "--modes", "fast", "--check",
+                 "--baseline", str(baseline)]) == 0
+    assert "within budget" in capsys.readouterr().out

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the simulator (thin wrapper over repro.bench).
+
+Times end-to-end IMe and ScaLAPACK jobs at several (n, ranks) points in
+both collective modes and maintains BENCH_simperf.json at the repo root:
+
+    PYTHONPATH=src python tools/bench_sim.py --write          # full suite
+    PYTHONPATH=src python tools/bench_sim.py --quick --check  # CI guard
+
+Also exposed as ``repro bench`` and ``make bench`` / ``make bench-quick``.
+See docs/performance.md for the file format.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(prog="bench_sim"))
