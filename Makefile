@@ -1,12 +1,18 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test doctest docs-check bench bench-quick figures clean
+.PHONY: install test doctest lint docs-check bench bench-quick figures clean
 
 install:
 	python setup.py develop
 
-test: docs-check
+test: docs-check lint
 	pytest tests/
+
+# Simulation-correctness static analyzer (see docs/static-analysis.md).
+# Fails only on findings not grandfathered in tools/lint_baseline.json.
+lint:
+	PYTHONPATH=src python -m repro.cli lint \
+		--baseline tools/lint_baseline.json src/repro tools examples
 
 # Runnable examples embedded in the reference docstrings.
 doctest:

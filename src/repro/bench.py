@@ -117,9 +117,10 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0) -> dict:
     job = Job(machine, placement)
     job.sim.fast_collectives = (mode == "fast")
     program = _make_program(point, system)
-    t0 = time.perf_counter()
+    # The self-benchmark is the one place wall time is the measurand.
+    t0 = time.perf_counter()  # repro: allow[DET001] -- wall-clock IS the measurand here
     result = job.run(program)
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # repro: allow[DET001] -- wall-clock IS the measurand here
     return {
         "mode": mode,
         "wall_s": wall,

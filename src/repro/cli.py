@@ -199,6 +199,12 @@ def cmd_bench(args) -> int:
     return run_from_args(args)
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +293,19 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.bench import add_arguments as _add_bench_arguments
     _add_bench_arguments(p)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the simulation-correctness static analyzer",
+        description=("AST lints for the invariants the simulator cannot "
+                     "check at runtime: undriven simcalls, wall-clock and "
+                     "unseeded randomness in the deterministic core, MPI "
+                     "protocol mistakes, and span hygiene.  See "
+                     "docs/static-analysis.md for the rule catalog."),
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+    _add_lint_arguments(p)
+    p.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -1,0 +1,58 @@
+"""Baseline ratchet: grandfather old findings, fail only on new ones.
+
+The baseline file (``tools/lint_baseline.json``) stores a multiset of
+finding keys — ``(path, rule, stripped line text)``, deliberately
+line-number-free so a grandfathered finding survives unrelated edits
+above it.  ``apply_baseline`` subtracts the stored multiset from the
+current findings; whatever remains is *new* and fails the run.  Fixing
+a baselined finding never hurts (stale entries are simply unused; use
+``--write-baseline`` to re-tighten the file).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {data.get('version')!r} "
+            f"in {path}"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("findings", []):
+        key = (entry["path"], entry["rule"], entry["text"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    counts = Counter(f.key() for f in findings)
+    entries = [
+        {"path": p, "rule": r, "text": t, "count": n}
+        for (p, r, t), n in sorted(counts.items())
+    ]
+    payload = {"version": FORMAT_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: Counter) -> list[Finding]:
+    """Findings not covered by the baseline (the ones that fail CI)."""
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -1,0 +1,109 @@
+"""``repro lint`` — run the simulation-correctness analyzer.
+
+    repro lint src/repro tools examples
+    repro lint --format=json src/repro
+    repro lint --baseline tools/lint_baseline.json src/repro
+    repro lint --write-baseline tools/lint_baseline.json src/repro
+
+Exit status 0 when clean (after suppressions and baseline), 1 when new
+findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.runner import ALL_RULES, LintOptions, lint_paths
+
+DEFAULT_PATHS = ("src/repro", "tools", "examples")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json emits one object with a findings array)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help=f"comma-separated rule ids to run (default: all of "
+             f"{','.join(ALL_RULES)})",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="grandfather findings recorded in FILE; fail only on new ones",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current findings to FILE as the new baseline "
+             "and exit 0",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    select = None
+    if args.select:
+        select = frozenset(r.strip().upper() for r in args.select.split(","))
+        unknown = select - set(ALL_RULES)
+        if unknown:
+            print(f"unknown rule ids: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    result = lint_paths(list(args.paths), LintOptions(select=select))
+    findings = result.findings
+
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), findings)
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        before = len(findings)
+        findings = apply_baseline(findings, load_baseline(baseline_path))
+        baselined = before - len(findings)
+
+    if args.format == "json":
+        payload = {
+            "files_checked": result.files_checked,
+            "baselined": baselined,
+            "findings": [f.to_json() for f in findings],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+            if finding.text:
+                print(f"    {finding.text}")
+        summary = (f"{len(findings)} finding(s) in "
+                   f"{result.files_checked} file(s)")
+        if baselined:
+            summary += f" ({baselined} baselined)"
+        print(summary)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulation-correctness static analyzer "
+                    "(see docs/static-analysis.md)",
+    )
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Findings: what a lint rule reports and how it is keyed.
+
+A finding's :meth:`Finding.key` deliberately excludes the line number —
+the baseline ratchet (:mod:`repro.lint.baseline`) matches findings by
+``(path, rule, source-line text)`` so grandfathered findings survive
+unrelated edits that shift line numbers, while any *new* occurrence of
+the same defect on a new line still fails CI once the old one is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: stripped source line the finding points at (the baseline key)
+    text: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used by the baseline ratchet."""
+        return (self.path, self.rule, self.text)
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "text": self.text,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: path, then position, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,137 @@
+"""OBS001 — span hygiene.
+
+Observability spans must close on every path or the exported trace
+contains dangling intervals and the per-phase energy attribution is
+wrong.  Two shapes are reported:
+
+* ``ctx.span("phase")`` / ``tracer.span(...)`` as a bare expression
+  statement: ``span`` returns a context manager, so without ``with``
+  the span is never even opened — the statement is a silent no-op.
+* ``h = tracer.begin_span(...)`` where the handle is a plain local
+  name and no ``end_span(... h ...)`` appears in the same function, or
+  the handle is discarded outright.  Handles stored on attributes
+  (``self._bracket_span = ...``) are exempt — they are closed by a
+  different method (the monitor's stop bracket does exactly this).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import (
+    ModuleInfo,
+    FunctionInfo,
+    build_parent_map,
+    iter_own_nodes,
+    receiver_name,
+)
+
+RULE = "OBS001"
+
+_SPAN_RECEIVERS = frozenset({"tracer", "ctx", "context", "self"})
+
+
+def _is_span_receiver(name: str | None) -> bool:
+    if name is None:
+        return False
+    return name in _SPAN_RECEIVERS or name.endswith("tracer")
+
+
+def _finding(module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        path=module.path,
+        line=node.lineno,
+        col=node.col_offset + 1,
+        rule=RULE,
+        message=message,
+        text=module.line_text(node.lineno),
+    )
+
+
+def _method(node: ast.AST) -> tuple[ast.Call, str, str | None] | None:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node, node.func.attr, receiver_name(node.func.value)
+    return None
+
+
+def _end_span_args(fn: FunctionInfo) -> set[str]:
+    """Plain names handed to any ``end_span(...)`` in this function."""
+    names: set[str] = set()
+    for node in iter_own_nodes(fn.node):
+        hit = _method(node)
+        if hit is None or hit[1] != "end_span":
+            continue
+        call = hit[0]
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _assigned_names(parent: ast.AST) -> list[str] | None:
+    """Plain-name targets; None when stored through an attribute/index."""
+    if isinstance(parent, ast.Assign):
+        targets = parent.targets
+    elif isinstance(parent, (ast.AnnAssign, ast.AugAssign)):
+        targets = [parent.target]
+    elif isinstance(parent, ast.NamedExpr):
+        targets = [parent.target]
+    else:
+        return []
+    names: list[str] = []
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+                return None
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+    return names
+
+
+def check(module: ModuleInfo) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in module.functions:
+        parents = build_parent_map(fn.node)
+        ended: set[str] | None = None
+        for node in iter_own_nodes(fn.node):
+            hit = _method(node)
+            if hit is None:
+                continue
+            call, attr, recv = hit
+            if not _is_span_receiver(recv):
+                continue
+            parent = parents.get(id(call))
+            if attr == "span":
+                if isinstance(parent, ast.Expr):
+                    findings.append(_finding(
+                        module, call,
+                        f"'{recv}.span(...)' in {fn.qualname!r} builds a "
+                        "context manager that is never entered; wrap the "
+                        "block in 'with ...:' or the span is silently lost",
+                    ))
+                continue
+            if attr != "begin_span":
+                continue
+            if isinstance(parent, ast.Expr):
+                findings.append(_finding(
+                    module, call,
+                    f"'begin_span(...)' handle discarded in {fn.qualname!r}; "
+                    "the span can never be closed (end_span needs the handle)",
+                ))
+                continue
+            names = _assigned_names(parent) if parent is not None else []
+            if names is None or not names:
+                continue  # attribute store / non-assignment: assume ok
+            if ended is None:
+                ended = _end_span_args(fn)
+            missing = [n for n in names if n not in ended]
+            if missing:
+                findings.append(_finding(
+                    module, call,
+                    f"span handle {missing[0]!r} opened in {fn.qualname!r} "
+                    "has no matching end_span in this function; the span "
+                    "never closes and the trace dangles",
+                ))
+    return findings

@@ -1,0 +1,174 @@
+"""SIM001 — unyielded simulated call.
+
+In the generator-coroutine DES every blocking operation *is* a
+generator: calling ``comm.bcast(x, root=0)`` merely builds the
+coroutine; nothing executes until it is driven with ``yield from`` (or
+handed to something that will drive it — the engine's ``spawn``,
+another wrapper, the caller via ``return``).  A dropped result is the
+worst kind of bug this codebase can have: the rank silently skips the
+operation, virtual time and energy accounting diverge, and the solver
+still "produces" numbers.
+
+A call is considered a simcall when
+
+* its bare name is a function the call-graph pass
+  (:func:`repro.lint.model.infer_simcall_names`) proved
+  simcall-returning (generators, transitively through dispatcher
+  wrappers), called either as a plain name or through a module alias /
+  comm-like receiver; or
+* it is a method from the known comm/ctx/req vocabulary
+  (:data:`repro.lint.model.KNOWN_SIMCALL_METHODS`) on a comm-like
+  receiver, or on any receiver when MPI-shaped keywords (``dest=``,
+  ``tag=``, ``root=`` …) are present.
+
+A simcall result is *driven* when it is consumed by ``yield from`` /
+``yield``, returned to the caller, passed as an argument to another
+call, iterated, or assigned to a name that later appears in one of
+those positions.  Everything else is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import (
+    ENGINE_HELPERS,
+    KNOWN_SIMCALL_METHODS,
+    ModuleInfo,
+    build_parent_map,
+    has_mpi_keywords,
+    is_comm_receiver,
+    iter_own_nodes,
+    receiver_name,
+)
+
+RULE = "SIM001"
+
+_DRIVING_PARENTS = (ast.YieldFrom, ast.Yield, ast.Return, ast.Await,
+                    ast.Call, ast.For, ast.comprehension, ast.withitem)
+
+
+def _candidate(call: ast.Call, module: ModuleInfo,
+               simcall_names: frozenset[str],
+               code_defined: frozenset[str]) -> str | None:
+    """Display name if this call returns a simulated generator."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id if func.id in code_defined else None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr in ENGINE_HELPERS and attr not in KNOWN_SIMCALL_METHODS:
+        # ``now``/``sleep`` … are free functions; ``obj.now()`` is a
+        # different symbol (e.g. the tracer's wall-of-virtual-time read).
+        return None
+    recv = receiver_name(func.value)
+    display = f"{recv}.{attr}" if recv else attr
+    if attr in code_defined:
+        # Defined in the linted tree: accept through a module alias
+        # (``fastcoll.fast_bcast``) or a comm-like receiver (``self._x``).
+        if (isinstance(func.value, ast.Name)
+                and func.value.id in module.import_bound):
+            return display
+        if is_comm_receiver(recv):
+            return display
+    if attr in KNOWN_SIMCALL_METHODS or attr in simcall_names:
+        if is_comm_receiver(recv) or has_mpi_keywords(call):
+            return display
+    return None
+
+
+def _driven_names(fnode: ast.AST) -> set[str]:
+    """Names that appear anywhere a generator could be driven from."""
+    driven: set[str] = set()
+    for node in iter_own_nodes(fnode):
+        if isinstance(node, (ast.YieldFrom, ast.Yield, ast.Return)):
+            sub = node
+        elif isinstance(node, ast.Call):
+            sub = node
+        elif isinstance(node, ast.For):
+            sub = node.iter
+        elif isinstance(node, ast.comprehension):
+            sub = node.iter
+        else:
+            continue
+        for name in ast.walk(sub):
+            if isinstance(name, ast.Name):
+                driven.add(name.id)
+    return driven
+
+
+def _assignment_targets(stmt: ast.AST) -> list[str] | None:
+    """Plain-name targets, or None when the value escapes (attr/index)."""
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.NamedExpr):
+        targets = [stmt.target]
+    else:
+        return None
+    names: list[str] = []
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+                return None  # stored somewhere we cannot track: assume ok
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+    return names
+
+
+def _diagnose(call: ast.Call, parents: dict[int, ast.AST],
+              fnode: ast.AST, driven: set[str]) -> str | None:
+    """None when driven; otherwise a short reason."""
+    node: ast.AST = call
+    while True:
+        parent = parents.get(id(node))
+        if parent is None or parent is fnode:
+            return None  # climbed out of the statement structure: assume ok
+        if isinstance(parent, _DRIVING_PARENTS):
+            return None
+        if isinstance(parent, ast.Expr):
+            return "result is discarded"
+        targets = _assignment_targets(parent)
+        if targets is not None:
+            if targets and not set(targets) & driven:
+                joined = ", ".join(sorted(set(targets)))
+                return f"assigned to {joined!r} but never driven"
+            return None
+        if isinstance(parent, ast.stmt):
+            return None  # some other statement shape: assume ok
+        node = parent
+
+
+def check(module: ModuleInfo, simcall_names: frozenset[str],
+          code_defined: frozenset[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in module.functions:
+        parents = build_parent_map(fn.node)
+        driven: set[str] | None = None
+        for node in iter_own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            display = _candidate(node, module, simcall_names, code_defined)
+            if display is None:
+                continue
+            if driven is None:
+                driven = _driven_names(fn.node)
+            reason = _diagnose(node, parents, fn.node, driven)
+            if reason is None:
+                continue
+            findings.append(Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule=RULE,
+                message=(
+                    f"simulated call '{display}(...)' in {fn.qualname!r} "
+                    f"is never driven ({reason}); a simcall no-ops unless "
+                    "consumed by 'yield from' (or handed to the engine)"
+                ),
+                text=module.line_text(node.lineno),
+            ))
+    return findings

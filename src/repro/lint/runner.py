@@ -1,0 +1,140 @@
+"""Lint driver: collect files, run every rule family, apply suppressions.
+
+The run is two-phase because SIM001 needs a whole-tree view: first every
+file is parsed into a :class:`~repro.lint.model.ModuleInfo`, then the
+call-graph pass infers the simcall-returning names across *all* modules,
+and only then do the per-module rule passes execute.  Suppressions
+(``# repro: allow[RULE]``) are applied last so a suppressed finding
+never reaches the baseline or the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint import rules_det, rules_mpi, rules_obs, rules_sim
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.model import ModuleInfo, infer_simcall_names, parse_module
+from repro.lint.suppressions import collect_suppressions, is_suppressed
+
+#: every rule id the analyzer can emit, for docs and ``--help``
+ALL_RULES = (
+    "SIM001",   # simulated call never driven by `yield from`
+    "DET001",   # wall-clock read in the deterministic core
+    "DET002",   # unseeded / ambient entropy
+    "DET003",   # iteration over a set (hash-seed-dependent order)
+    "MPI001",   # disjoint literal send/recv tags in one function
+    "MPI002",   # asymmetric collectives across rank branches
+    "MPI003",   # PAPI start/stop not barrier-fenced in a rank program
+    "OBS001",   # span opened but never closed / never entered
+    "E999",     # file does not parse
+)
+
+
+@dataclass
+class LintOptions:
+    """Knobs for one lint run.
+
+    ``det_scope`` restricts the DET determinism rules to paths containing
+    any of the given substrings — the deterministic-core contract covers
+    ``src/repro``; tools and examples may legitimately read clocks.  Set
+    to ``()`` to lint determinism everywhere (the fixture tests do).
+    """
+
+    det_scope: tuple[str, ...] = ("src/repro",)
+    select: frozenset[str] | None = None  # None = all rules
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _det_applies(path: str, options: LintOptions) -> bool:
+    if not options.det_scope:
+        return True
+    normalized = path.replace("\\", "/")
+    return any(scope in normalized for scope in options.det_scope)
+
+
+def _selected(findings: list[Finding], options: LintOptions) -> list[Finding]:
+    if options.select is None:
+        return findings
+    return [f for f in findings if f.rule in options.select]
+
+
+def _lint_module(module: ModuleInfo, simcall_names: frozenset[str],
+                 code_defined: frozenset[str],
+                 options: LintOptions) -> list[Finding]:
+    findings: list[Finding] = []
+    findings.extend(rules_sim.check(module, simcall_names, code_defined))
+    if _det_applies(module.path, options):
+        findings.extend(rules_det.check(module))
+    findings.extend(rules_mpi.check(module))
+    findings.extend(rules_obs.check(module))
+    findings = _selected(findings, options)
+    suppressions = collect_suppressions(module.source)
+    return [
+        f for f in findings
+        if not is_suppressed(f.rule, f.line, suppressions)
+    ]
+
+
+def _collect_files(paths: list[str]) -> list[tuple[Path, str]]:
+    files: list[tuple[Path, str]] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if "__pycache__" in sub.parts:
+                    continue
+                files.append((sub, str(sub)))
+        else:
+            files.append((p, str(p)))
+    return files
+
+
+def lint_paths(paths: list[str],
+               options: LintOptions | None = None) -> LintResult:
+    """Lint files/directories; directories are walked for ``*.py``."""
+    options = options or LintOptions()
+    result = LintResult()
+    modules: list[ModuleInfo] = []
+    for path, shown in _collect_files(paths):
+        result.files_checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+            modules.append(parse_module(source, shown))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            result.findings.append(Finding(
+                path=shown, line=line, col=1, rule="E999",
+                message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+            ))
+    simcall_names, code_defined = infer_simcall_names(modules)
+    for module in modules:
+        result.findings.extend(
+            _lint_module(module, simcall_names, code_defined, options))
+    result.findings = sort_findings(result.findings)
+    return result
+
+
+def lint_source(source: str, path: str = "<string>",
+                options: LintOptions | None = None) -> list[Finding]:
+    """Lint one in-memory snippet (the unit tests' entry point)."""
+    options = options or LintOptions(det_scope=())
+    try:
+        module = parse_module(source, path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1, col=1,
+                        rule="E999",
+                        message=f"file does not parse: {exc.msg}")]
+    simcall_names, code_defined = infer_simcall_names([module])
+    return sort_findings(
+        _lint_module(module, simcall_names, code_defined, options))

@@ -1,0 +1,45 @@
+"""Inline suppressions: ``# repro: allow[RULE]``.
+
+A finding is suppressed when an allow comment naming its rule (or the
+whole family, e.g. ``DET`` covers ``DET001``/``DET002``/``DET003``)
+appears either on the reported line itself or on a comment-only line
+directly above it::
+
+    t0 = time.perf_counter()  # repro: allow[DET001] -- wall-clock bench
+
+    # repro: allow[SIM001] -- driven indirectly by the harness
+    comm.barrier()
+
+Several rules can share one comment: ``# repro: allow[DET001,DET002]``.
+Anything after ``--`` is a free-form reason (encouraged, never parsed).
+"""
+
+from __future__ import annotations
+
+import re
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def collect_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there."""
+    suppressed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW.search(line)
+        if match is None:
+            continue
+        rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
+        suppressed.setdefault(lineno, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            # A comment-only allow line covers the statement below it.
+            suppressed.setdefault(lineno + 1, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in suppressed.items()}
+
+
+def is_suppressed(rule: str, line: int,
+                  suppressions: dict[int, frozenset[str]]) -> bool:
+    rules = suppressions.get(line)
+    if not rules:
+        return False
+    # Exact id, or a family prefix ("DET" suppresses "DET001").
+    return any(rule == r or rule.startswith(r) for r in rules)

@@ -313,6 +313,11 @@ class World:
         #: observability hook shared by every communicator of this world
         #: (see :mod:`repro.obs.tracer`); ``None`` disables span recording
         self.tracer = None
+        #: runtime protocol checker (see :mod:`repro.simmpi.sanitizer`);
+        #: inherited from the simulator, ``None`` when sanitizing is off
+        self.sanitizer = sim.sanitizer
+        if self.sanitizer is not None:
+            self.sanitizer.attach_world(self)
 
     def comm_world(self) -> "list[Communicator]":
         """Build COMM_WORLD: one communicator handle per rank."""
@@ -382,6 +387,9 @@ class Communicator:
         self.parent = parent
         self._coll_seq = 0
         self._split_seq = 0
+        #: collective-call counter for the runtime sanitizer's cross-rank
+        #: sequence check (advanced only while sanitizing)
+        self._san_seq = 0
 
     # ------------------------------------------------------------------ info
     def world_rank(self, rank: int | None = None) -> int:
@@ -598,6 +606,8 @@ class Communicator:
         if not 0 <= root < self.size:
             raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
         world = self.world
+        if world.sanitizer is not None:
+            world.sanitizer.on_collective(self, "bcast", root)
         gen = (fastcoll.fast_bcast(self, payload, root, nbytes)
                if world.sim.fast_collectives
                else self._bcast_message(payload, root, nbytes))
@@ -630,6 +640,8 @@ class Communicator:
         if not 0 <= root < self.size:
             raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
         world = self.world
+        if world.sanitizer is not None:
+            world.sanitizer.on_collective(self, "gather", root)
         gen = (fastcoll.fast_gather(self, payload, root)
                if world.sim.fast_collectives
                else self._gather_message(payload, root))
@@ -658,6 +670,8 @@ class Communicator:
         if not 0 <= root < self.size:
             raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
         world = self.world
+        if world.sanitizer is not None:
+            world.sanitizer.on_collective(self, "scatter", root)
         gen = (fastcoll.fast_scatter(self, payloads, root)
                if world.sim.fast_collectives
                else self._scatter_message(payloads, root))
@@ -686,6 +700,8 @@ class Communicator:
         if not 0 <= root < self.size:
             raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
         world = self.world
+        if world.sanitizer is not None:
+            world.sanitizer.on_collective(self, "reduce", root)
         gen = (fastcoll.fast_reduce(self, payload, op, root)
                if world.sim.fast_collectives
                else self._reduce_message(payload, op, root))
@@ -716,6 +732,8 @@ class Communicator:
         # bit-identical virtual times.  Traced (or message-level) runs keep
         # the composition so nested reduce/bcast spans appear as usual.
         world = self.world
+        if world.sanitizer is not None:
+            world.sanitizer.on_collective(self, "allreduce")
         if world.tracer is None:
             if world.sim.fast_collectives:
                 return fastcoll.fast_allreduce(self, payload, op)
@@ -729,6 +747,8 @@ class Communicator:
 
     def allgather(self, payload: Any):
         world = self.world
+        if world.sanitizer is not None:
+            world.sanitizer.on_collective(self, "allgather")
         if world.tracer is None:
             if world.sim.fast_collectives:
                 return fastcoll.fast_allgather(self, payload)
@@ -744,12 +764,16 @@ class Communicator:
     def gatherv(self, payload: Any, root: int = 0):
         """Variable-size gather: like :meth:`gather` (payloads may differ
         arbitrarily in size/shape per rank)."""
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_collective(self, "gatherv", root)
         out = yield from self.gather(payload, root=root)
         return out
 
     @_traced("coll")
     def scatterv(self, payloads: list | None, root: int = 0):
         """Variable-size scatter (per-rank payloads of any size)."""
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_collective(self, "scatterv", root)
         out = yield from self.scatter(payloads, root=root)
         return out
 
@@ -758,6 +782,8 @@ class Communicator:
         """Element-wise reduce over the per-destination payload lists, then
         scatter: rank ``i`` receives ``op``-reduction of every rank's
         ``payloads[i]``."""
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_collective(self, "reduce_scatter")
         if len(payloads) != self.size:
             raise CommMismatchError(
                 f"reduce_scatter needs {self.size} payloads, got "
@@ -770,6 +796,8 @@ class Communicator:
     @_traced("coll")
     def scan(self, payload: Any, op: Callable = SUM):
         """Inclusive prefix reduction: rank i gets op(v₀, …, vᵢ)."""
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_collective(self, "scan")
         gathered = yield from self.allgather(payload)
         acc = copy_payload(gathered[0])
         for item in gathered[1:self.rank + 1]:
@@ -779,6 +807,8 @@ class Communicator:
     @_traced("coll")
     def alltoall(self, payloads: list):
         """Pairwise exchange; returns the list indexed by source rank."""
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_collective(self, "alltoall")
         if len(payloads) != self.size:
             raise CommMismatchError(
                 f"alltoall needs {self.size} payloads, got {len(payloads)}"
@@ -800,6 +830,8 @@ class Communicator:
     def barrier(self):
         """Synchronize all ranks (reduce + bcast of an empty token)."""
         world = self.world
+        if world.sanitizer is not None:
+            world.sanitizer.on_collective(self, "barrier")
         if world.tracer is None:
             if world.sim.fast_collectives:
                 return fastcoll.fast_barrier(self)
@@ -821,6 +853,8 @@ class Communicator:
         """
         if key is None:
             key = self.rank
+        if self.world.sanitizer is not None:
+            self.world.sanitizer.on_collective(self, "split")
         entries = yield from self.allgather((color, key, self.rank))
         self._split_seq += 1
         if color is None:

@@ -337,7 +337,8 @@ class Simulator:
     ('ok', [None])
     """
 
-    def __init__(self, fast_collectives: bool = True):
+    def __init__(self, fast_collectives: bool = True,
+                 sanitize: bool | None = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, Any]] = []
         self._seq = 0
@@ -346,6 +347,17 @@ class Simulator:
         #: observability hook (see :mod:`repro.obs.tracer`); ``None`` keeps
         #: every hook site a single attribute check
         self.tracer = None
+        #: runtime MPI sanitizer (see :mod:`repro.simmpi.sanitizer`);
+        #: ``sanitize=None`` defers to the ``REPRO_SANITIZE`` env var, so
+        #: any Job can be sanitized without code changes.  ``None`` when
+        #: disabled — a pure observer, zero cost and bit-identical timing
+        self.sanitizer = None
+        if sanitize is None:
+            from repro.simmpi.sanitizer import sanitize_from_env
+            sanitize = sanitize_from_env()
+        if sanitize:
+            from repro.simmpi.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self)
         #: communicators built on this simulator compute collective
         #: completion times in closed form instead of spawning per-hop
         #: messages (see :mod:`repro.simmpi.fastcoll`); the message-level
@@ -411,6 +423,11 @@ class Simulator:
             if self.tracer is not None and time > self._now:
                 self.tracer.on_clock_advance(self._now, time,
                                              len(self._heap) + 1)
+            if self.sanitizer is not None and time < self._now:
+                raise AssertionError(
+                    f"virtual time went backwards: {self._now} -> {time} "
+                    "(heap ordering violated)"
+                )
             self._now = time
             fn(arg)
         if self._failure is not None:
@@ -418,7 +435,12 @@ class Simulator:
             raise exc
         blocked = [p for p in self._live_processes if not p.done]
         if blocked:
-            raise DeadlockError(blocked)
+            detail = ""
+            if self.sanitizer is not None:
+                detail = self.sanitizer.deadlock_report(blocked)
+            raise DeadlockError(blocked, detail=detail)
+        if self.sanitizer is not None and until is None:
+            self.sanitizer.check_finalize()
         return self._now
 
     def run_all(self, gens: Iterable[tuple[str, Generator]],

@@ -23,9 +23,29 @@ class TruncationError(SimMPIError):
 
 
 class DeadlockError(SimMPIError):
-    """The event loop ran out of events while processes were still blocked."""
+    """The event loop ran out of events while processes were still blocked.
 
-    def __init__(self, blocked: list):
+    ``detail`` carries the sanitizer's per-rank blocked-state report when
+    the run executed with ``Simulator(sanitize=True)``.
+    """
+
+    def __init__(self, blocked: list, detail: str = ""):
         self.blocked = list(blocked)
+        self.detail = detail
         names = ", ".join(str(p) for p in self.blocked)
-        super().__init__(f"simulation deadlocked; blocked processes: [{names}]")
+        message = f"simulation deadlocked; blocked processes: [{names}]"
+        if detail:
+            message = f"{message}\n{detail}"
+        super().__init__(message)
+
+
+class SanitizerError(SimMPIError):
+    """Base class for violations reported by the runtime MPI sanitizer."""
+
+
+class CollectiveMismatchError(SanitizerError):
+    """Two ranks disagreed on the Nth collective of a communicator."""
+
+
+class MessageLeakError(SanitizerError):
+    """The run finished with undelivered messages or unmatched receives."""

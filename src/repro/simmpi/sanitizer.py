@@ -1,0 +1,167 @@
+"""Runtime MPI sanitizer: cross-rank protocol checking, off by default.
+
+Enable with ``Simulator(sanitize=True)`` or ``REPRO_SANITIZE=1`` in the
+environment (read once at :class:`~repro.simmpi.engine.Simulator`
+construction, so every :class:`~repro.runtime.job.Job` inherits it with
+no plumbing).  The sanitizer is a pure observer — it never yields, never
+touches the virtual clock, and with it disabled every hook site is a
+single ``is None`` attribute check — so a sanitized run is bit-identical
+(results, virtual times, energy) to an unsanitized one.
+
+Three families of checks:
+
+* **Collective sequence.**  MPI requires every rank of a communicator to
+  call the same collectives in the same order.  Each communicator handle
+  counts its collective calls; the Nth call on communicator ``cid`` is
+  compared against the first rank to reach N.  A mismatched operation or
+  root aborts immediately with *both* ranks' program call sites.
+* **Finalize leaks.**  When the event loop reaches quiescence the
+  mailbox fabric must be empty: a buffered message nobody received, or a
+  posted receive nothing matched, is a protocol leak
+  (:class:`~repro.simmpi.errors.MessageLeakError` listing every leak).
+* **Deadlock forensics.**  When the loop instead strands blocked
+  processes, the sanitizer renders a per-rank report — what each process
+  is blocked on, plus any collective only a subset of ranks has entered
+  — and attaches it to the :class:`~repro.simmpi.errors.DeadlockError`.
+
+The engine additionally asserts virtual-time monotonicity on every event
+dispatch while sanitizing.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import TYPE_CHECKING
+
+from repro.simmpi.errors import CollectiveMismatchError, MessageLeakError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simmpi.comm import Communicator, World
+    from repro.simmpi.engine import Simulator
+
+#: stack frames from these directories are runtime internals, not the
+#: program call site the report should point at
+_INTERNAL_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _callsite() -> str:
+    """``file:line`` of the innermost frame outside the simmpi runtime."""
+    for frame in reversed(traceback.extract_stack()):
+        frame_dir = os.path.dirname(os.path.abspath(frame.filename))
+        if frame_dir != _INTERNAL_DIR:
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+class _CollRecord:
+    """First-arriving rank's view of one (cid, seq) collective slot."""
+
+    __slots__ = ("op", "root", "rank", "site", "arrived")
+
+    def __init__(self, op: str, root: int | None, rank: int, site: str):
+        self.op = op
+        self.root = root
+        self.rank = rank
+        self.site = site
+        self.arrived = 1
+
+
+class Sanitizer:
+    """Observer attached to a :class:`Simulator` and its worlds."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._worlds: list[World] = []
+        #: (cid, seq) -> record; entries retire once every rank arrives,
+        #: so memory is bounded by cross-rank skew, not run length
+        self._pending: dict[tuple[int, int], _CollRecord] = {}
+        #: collectives checked (diagnostics / tests)
+        self.collectives_checked = 0
+
+    def attach_world(self, world: "World") -> None:
+        self._worlds.append(world)
+
+    # ------------------------------------------------------- collectives
+    def on_collective(self, comm: "Communicator", op: str,
+                      root: int | None = None) -> None:
+        seq = comm._san_seq
+        comm._san_seq = seq + 1
+        self.collectives_checked += 1
+        key = (comm.cid, seq)
+        record = self._pending.get(key)
+        if record is None:
+            self._pending[key] = _CollRecord(op, root, comm.rank,
+                                             _callsite())
+            if comm.size == 1:
+                del self._pending[key]
+            return
+        if record.op != op or record.root != root:
+            def fmt(r, o, w):
+                rooted = "" if o is None else f"(root={o})"
+                return f"rank {r} called {w}{rooted}"
+            raise CollectiveMismatchError(
+                f"collective sequence mismatch on communicator "
+                f"{comm.cid} (call #{seq}): "
+                f"{fmt(record.rank, record.root, record.op)} at "
+                f"{record.site}, but "
+                f"{fmt(comm.rank, root, op)} at {_callsite()}"
+            )
+        record.arrived += 1
+        if record.arrived >= comm.size:
+            del self._pending[key]
+
+    # ---------------------------------------------------------- finalize
+    def check_finalize(self) -> None:
+        """Raise :class:`MessageLeakError` if the fabric is not empty."""
+        leaks: list[str] = []
+        for world in self._worlds:
+            for (cid, dst), box in sorted(world._mailboxes.items()):
+                for msg in box.messages.values():
+                    leaks.append(
+                        f"comm {cid}: message from rank {msg.src} to rank "
+                        f"{dst} (tag={msg.tag}, {msg.nbytes} B) was never "
+                        "received"
+                    )
+                for bucket in box._recvs_by_key.values():
+                    for pending in bucket:
+                        leaks.append(
+                            f"comm {cid}: rank {dst} posted a receive "
+                            f"(source={pending.source}, tag={pending.tag}) "
+                            "that nothing matched"
+                        )
+                for pending in box._recvs_any:
+                    leaks.append(
+                        f"comm {cid}: rank {dst} posted a wildcard receive "
+                        f"(source={pending.source}, tag={pending.tag}) "
+                        "that nothing matched"
+                    )
+        if leaks:
+            listing = "\n".join(f"  - {leak}" for leak in leaks)
+            raise MessageLeakError(
+                f"run finished with {len(leaks)} protocol leak(s):\n{listing}"
+            )
+
+    # ---------------------------------------------------------- deadlock
+    def deadlock_report(self, blocked: list) -> str:
+        """Per-rank blocked-state dump attached to the DeadlockError."""
+        lines = ["sanitizer deadlock report:"]
+        for proc in sorted(blocked, key=lambda p: p.name):
+            target = proc._blocked_on
+            state = getattr(target, "name", None) or str(target)
+            lines.append(f"  - {proc.name}: blocked on {state}")
+        for (cid, seq), record in sorted(self._pending.items()):
+            lines.append(
+                f"  - comm {cid} collective #{seq} ({record.op}): only "
+                f"{record.arrived} rank(s) arrived (first was rank "
+                f"{record.rank} at {record.site})"
+            )
+        return "\n".join(lines)
+
+
+def sanitize_from_env(default: bool = False) -> bool:
+    """``REPRO_SANITIZE`` truthiness (unset / ``0`` / empty = off)."""
+    value = os.environ.get("REPRO_SANITIZE")
+    if value is None:
+        return default
+    return value.strip().lower() not in ("", "0", "false", "no", "off")

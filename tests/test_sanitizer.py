@@ -1,0 +1,256 @@
+"""Runtime MPI sanitizer: seeded protocol violations must abort with
+actionable reports, and a sanitized run must be bit-identical to an
+unsanitized one (the sanitizer is a pure observer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape
+from repro.core.framework import ExperimentSpec, MonitoringFramework
+from repro.perfmodel.calibration import profile_for
+from repro.simmpi.comm import World
+from repro.simmpi.engine import Simulator
+from repro.simmpi.errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    MessageLeakError,
+    SanitizerError,
+    SimMPIError,
+)
+from repro.workloads.generator import generate_system
+
+
+def sanitized_world(size):
+    sim = Simulator(sanitize=True)
+    world = World(sim, size)
+    return sim, world, world.comm_world()
+
+
+# ---------------------------------------------------- collective sequence
+class TestCollectiveMismatch:
+    def test_mismatched_op_reports_both_call_sites(self):
+        sim, world, comms = sanitized_world(2)
+
+        def caller_of_bcast(comm):
+            out = yield from comm.bcast(comm.rank, root=0)
+            return out
+
+        def caller_of_reduce(comm):
+            out = yield from comm.reduce(comm.rank, root=0)
+            return out
+
+        sim.spawn(caller_of_bcast(comms[0]), name="r0")
+        sim.spawn(caller_of_reduce(comms[1]), name="r1")
+        with pytest.raises(CollectiveMismatchError) as exc:
+            sim.run()
+        message = str(exc.value)
+        assert "rank 0 called bcast(root=0)" in message
+        assert "rank 1 called reduce(root=0)" in message
+        # Both program call sites, not runtime internals:
+        assert message.count("test_sanitizer.py") == 2
+        assert "caller_of_bcast" in message
+        assert "caller_of_reduce" in message
+
+    def test_mismatched_root_is_reported(self):
+        sim, world, comms = sanitized_world(2)
+
+        def program(comm, root):
+            out = yield from comm.bcast("x", root=root)
+            return out
+
+        sim.spawn(program(comms[0], 0), name="r0")
+        sim.spawn(program(comms[1], 1), name="r1")
+        with pytest.raises(CollectiveMismatchError, match="root=0.*root=1"):
+            sim.run()
+
+    def test_mismatch_is_a_simmpi_error(self):
+        assert issubclass(CollectiveMismatchError, SanitizerError)
+        assert issubclass(SanitizerError, SimMPIError)
+
+    def test_matching_sequence_passes(self):
+        sim, world, comms = sanitized_world(4)
+
+        def program(comm):
+            value = yield from comm.allreduce(comm.rank)
+            gathered = yield from comm.gather(value, root=0)
+            yield from comm.barrier()
+            return gathered
+
+        procs = [sim.spawn(program(c), name=f"r{c.rank}") for c in comms]
+        sim.run()
+        assert procs[0].result[0] == 6  # 0+1+2+3 on every rank
+        assert world.sanitizer.collectives_checked > 0
+        # All slots retired: memory bounded by skew, not run length.
+        assert world.sanitizer._pending == {}
+
+    def test_subcommunicators_checked_independently(self):
+        sim, world, comms = sanitized_world(4)
+
+        def program(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            out = yield from sub.allreduce(comm.rank)
+            return out
+
+        procs = [sim.spawn(program(c), name=f"r{c.rank}") for c in comms]
+        sim.run()
+        assert [p.result for p in procs] == [2, 4, 2, 4]
+
+
+# ------------------------------------------------------------------ leaks
+class TestFinalizeLeaks:
+    def test_unreceived_message(self):
+        sim, world, comms = sanitized_world(2)
+
+        def sender(comm):
+            yield from comm.send({"k": 1}, dest=1, tag=7)
+
+        def quiet(comm):
+            if False:
+                yield
+
+        sim.spawn(sender(comms[0]), name="r0")
+        sim.spawn(quiet(comms[1]), name="r1")
+        with pytest.raises(MessageLeakError, match=r"rank 0 to rank 1.*tag=7"):
+            sim.run()
+
+    def test_unmatched_posted_receive(self):
+        sim, world, comms = sanitized_world(2)
+
+        def poster(comm):
+            comm.irecv(source=1, tag=3)  # repro: allow[SIM001] -- leak under test
+            if False:
+                yield
+
+        def quiet(comm):
+            if False:
+                yield
+
+        sim.spawn(poster(comms[0]), name="r0")
+        sim.spawn(quiet(comms[1]), name="r1")
+        with pytest.raises(MessageLeakError,
+                           match=r"posted a receive.*source=1, tag=3"):
+            sim.run()
+
+    def test_clean_exchange_passes(self):
+        sim, world, comms = sanitized_world(2)
+
+        def sender(comm):
+            yield from comm.send("payload", dest=1, tag=7)
+
+        def receiver(comm):
+            out = yield from comm.recv(source=0, tag=7)
+            return out
+
+        sim.spawn(sender(comms[0]), name="r0")
+        proc = sim.spawn(receiver(comms[1]), name="r1")
+        sim.run()
+        assert proc.result == "payload"
+
+
+# --------------------------------------------------------------- deadlock
+class TestDeadlockForensics:
+    def test_deadlocked_pair_gets_blocked_state_dump(self):
+        sim, world, comms = sanitized_world(2)
+
+        def waits_forever(comm):
+            out = yield from comm.recv(source=1, tag=1)
+            return out
+
+        def enters_barrier(comm):
+            yield from comm.barrier()
+
+        sim.spawn(waits_forever(comms[0]), name="r0")
+        sim.spawn(enters_barrier(comms[1]), name="r1")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        detail = exc.value.detail
+        assert "sanitizer deadlock report" in detail
+        assert "r0: blocked on recv" in detail
+        # The half-entered barrier is called out with its call site.
+        assert "barrier" in detail and "only 1 rank(s) arrived" in detail
+        assert "enters_barrier" in detail
+
+    def test_unsanitized_deadlock_has_no_detail(self):
+        sim = Simulator(sanitize=False)
+        world = World(sim, 2)
+        comms = world.comm_world()
+
+        def waits_forever(comm):
+            out = yield from comm.recv(source=1, tag=1)
+            return out
+
+        def quiet(comm):
+            if False:
+                yield
+
+        sim.spawn(waits_forever(comms[0]), name="r0")
+        sim.spawn(quiet(comms[1]), name="r1")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        assert exc.value.detail == ""
+
+
+# ------------------------------------------------------- engine invariants
+class TestEngineChecks:
+    def test_monotonic_virtual_time_assertion(self):
+        sim = Simulator(sanitize=True)
+        sim.call_at(1.0, lambda _arg: None)
+        sim._now = 2.0  # corrupt the clock behind the heap's back
+        with pytest.raises(AssertionError, match="went backwards"):
+            sim.run()
+
+    def test_corrupted_clock_unnoticed_without_sanitizer(self):
+        sim = Simulator(sanitize=False)
+        sim.call_at(1.0, lambda _arg: None)
+        sim._now = 2.0
+        sim.run()  # silently accepts the bad timestamp
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Simulator().sanitizer is not None
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert Simulator().sanitizer is None
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert Simulator().sanitizer is None
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Simulator(sanitize=False).sanitizer is None
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert Simulator(sanitize=True).sanitizer is not None
+
+
+# ------------------------------------------------------------ e2e parity
+def small_spec(algorithm):
+    from dataclasses import replace
+
+    profile = replace(profile_for(algorithm), eff_flops_per_core=2.0e5)
+    return ExperimentSpec(
+        algorithm=algorithm,
+        system=generate_system(12, seed=42),
+        ranks=4,
+        shape=LoadShape.FULL,
+        repetitions=2,
+        machine=small_test_machine(cores_per_socket=2),
+        profile=profile,
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["ime", "scalapack"])
+def test_sanitized_run_bit_identical(algorithm, monkeypatch):
+    """REPRO_SANITIZE=1 e2e smoke: the full monitored pipeline passes the
+    sanitizer, and results, virtual times, and energy are bit-identical
+    to the unsanitized run."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    plain = MonitoringFramework().run_experiment(small_spec(algorithm))
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sanitized = MonitoringFramework().run_experiment(small_spec(algorithm))
+    for a, b in zip(plain.runs, sanitized.runs):
+        assert np.array_equal(a.solution, b.solution)
+        assert a.measured.duration == b.measured.duration
+        assert a.measured.total_j == b.measured.total_j
+        for na, nb in zip(a.measured.nodes, b.measured.nodes):
+            assert na.package_j == nb.package_j
+            assert na.dram_j == nb.dram_j
