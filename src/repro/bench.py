@@ -40,7 +40,7 @@ REGRESSION_FACTOR = 2.0
 class BenchPoint:
     """One benchmarked configuration."""
 
-    solver: str  # "ime" | "scalapack" | "scalapack-skel"
+    solver: str  # "ime" | "ime-ft" | "scalapack" | "scalapack-skel"
     n: int
     ranks: int
     nb: int | None = None  # ScaLAPACK block size
@@ -61,6 +61,8 @@ class BenchPoint:
 DEFAULT_POINTS: tuple[BenchPoint, ...] = (
     BenchPoint("ime", 1080, 4, quick=True),
     BenchPoint("scalapack", 1080, 4, nb=40, quick=True),
+    BenchPoint("ime", 2160, 8),
+    BenchPoint("ime-ft", 2160, 8),
     BenchPoint("ime", 2160, 16),
     BenchPoint("scalapack", 2160, 16, nb=48),
     BenchPoint("scalapack", 4320, 16, nb=48),
@@ -76,6 +78,13 @@ def _make_program(point: BenchPoint, system):
             sys_arg = system if comm.rank == 0 else None
             return (yield from ime_parallel_program(ctx, comm,
                                                     system=sys_arg))
+    elif point.solver == "ime-ft":
+        from repro.solvers.ime.ft_parallel import ime_ft_parallel_program
+
+        def program(ctx, comm):
+            sys_arg = system if comm.rank == 0 else None
+            return (yield from ime_ft_parallel_program(ctx, comm,
+                                                       system=sys_arg))
     elif point.solver == "scalapack":
         from repro.solvers.scalapack.pdgesv import (
             ScalapackOptions,
@@ -102,8 +111,15 @@ def _make_program(point: BenchPoint, system):
     return program
 
 
-def run_point(point: BenchPoint, mode: str, seed: int = 0) -> dict:
-    """Time one end-to-end job; returns wall/virtual/traffic/energy."""
+def run_point(point: BenchPoint, mode: str, seed: int = 0,
+              repeats: int = 1) -> dict:
+    """Time one end-to-end job; returns wall/virtual/traffic/energy.
+
+    ``repeats`` > 1 reports the best-of-k wall time (standard benchmark
+    practice — the minimum is the least noise-contaminated estimate of
+    the code's speed).  The simulated quantities are deterministic and
+    identical across repeats; only the wall clock varies.
+    """
     machine = small_test_machine(
         cores_per_socket=max(1, point.ranks // 2)
         if point.ranks % 2 == 0 else point.ranks
@@ -114,13 +130,17 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0) -> dict:
     # Skeleton points replay communication structure only — no matrix.
     system = (generate_system(point.n, seed=seed)
               if not point.solver.endswith("-skel") else None)
-    job = Job(machine, placement)
-    job.sim.fast_collectives = (mode == "fast")
-    program = _make_program(point, system)
-    # The self-benchmark is the one place wall time is the measurand.
-    t0 = time.perf_counter()  # repro: allow[DET001] -- wall-clock IS the measurand here
-    result = job.run(program)
-    wall = time.perf_counter() - t0  # repro: allow[DET001] -- wall-clock IS the measurand here
+    wall = None
+    for _ in range(max(1, repeats)):
+        job = Job(machine, placement)
+        job.sim.fast_collectives = (mode == "fast")
+        job.sim.fast_p2p = (mode == "fast")
+        program = _make_program(point, system)
+        # The self-benchmark is the one place wall time is the measurand.
+        t0 = time.perf_counter()  # repro: allow[DET001] -- wall-clock IS the measurand here
+        result = job.run(program)
+        dt = time.perf_counter() - t0  # repro: allow[DET001] -- wall-clock IS the measurand here
+        wall = dt if wall is None else min(wall, dt)
     return {
         "mode": mode,
         "wall_s": wall,
@@ -133,7 +153,7 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0) -> dict:
 
 def run_suite(points=None, quick: bool = False,
               modes: tuple[str, ...] | None = None,
-              progress=None) -> dict:
+              progress=None, repeats: int = 3) -> dict:
     """Run the benchmark suite; returns the ``BENCH_simperf.json`` dict."""
     if points is None:
         points = DEFAULT_POINTS
@@ -145,7 +165,7 @@ def run_suite(points=None, quick: bool = False,
         for mode in (modes if modes is not None else point.modes):
             if progress is not None:
                 progress(f"{point.label} [{mode}] ...")
-            results[mode] = run_point(point, mode)
+            results[mode] = run_point(point, mode, repeats=repeats)
         entry = {
             "label": point.label,
             "solver": point.solver,
@@ -219,6 +239,8 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="only the small CI-guard points")
     parser.add_argument("--modes", default=None,
                         help="comma-separated subset of fast,message")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-k wall-clock per point (default 3)")
     parser.add_argument("--json", action="store_true",
                         help="print the report as JSON instead of a table")
     parser.add_argument("--table", action="store_true",
@@ -253,7 +275,8 @@ def run_from_args(args) -> int:
     """Execute a parsed benchmark invocation (CLI entry points share this)."""
     modes = tuple(args.modes.split(",")) if args.modes else None
     report = run_suite(quick=args.quick, modes=modes,
-                       progress=lambda msg: print(msg, flush=True))
+                       progress=lambda msg: print(msg, flush=True),
+                       repeats=getattr(args, "repeats", 3))
     if args.json:
         print(json.dumps(report, indent=2))
     else:

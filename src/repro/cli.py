@@ -199,6 +199,12 @@ def cmd_bench(args) -> int:
     return run_from_args(args)
 
 
+def cmd_sweep(args) -> int:
+    from repro.experiments.sweep import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_lint(args) -> int:
     from repro.lint.cli import run_from_args
 
@@ -293,6 +299,19 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.bench import add_arguments as _add_bench_arguments
     _add_bench_arguments(p)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an evaluation campaign across worker processes",
+        description=("Drive the full §5 analytic paper grid (default) or "
+                     "a validation-scale monitored-DES grid (--quick) "
+                     "through a multiprocessing pool with the "
+                     "content-addressed result cache under .repro-cache/ "
+                     "(see docs/performance.md)."),
+    )
+    from repro.experiments.sweep import add_arguments as _add_sweep_arguments
+    _add_sweep_arguments(p)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "lint",

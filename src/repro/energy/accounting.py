@@ -15,13 +15,6 @@ quantization/jitter artefacts are introduced one layer up in
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-
-
-@dataclass
-class _Ongoing:
-    t_start: float
-    watts: float
 
 
 class ActivityAccountant:
@@ -33,7 +26,9 @@ class ActivityAccountant:
         self.idle_power_w = idle_power_w
         self.t_boot = t_boot
         self._completed_j = 0.0
-        self._ongoing: dict[int, _Ongoing] = {}
+        #: handle -> (t_start, watts); a plain tuple — begin/end run once
+        #: per compute segment, so the interval record stays allocation-light
+        self._ongoing: dict[int, tuple[float, float]] = {}
         self._handles = itertools.count()
         self._last_time = t_boot
 
@@ -43,21 +38,21 @@ class ActivityAccountant:
             raise ValueError(f"negative activity power: {watts}")
         self._check_time(t)
         handle = next(self._handles)
-        self._ongoing[handle] = _Ongoing(t_start=t, watts=watts)
+        self._ongoing[handle] = (t, watts)
         return handle
 
     def end(self, handle: int, t: float) -> None:
         """Close an activity interval at time ``t``."""
         self._check_time(t)
         try:
-            seg = self._ongoing.pop(handle)
+            t_start, watts = self._ongoing.pop(handle)
         except KeyError:
             raise KeyError(f"unknown or already-closed activity handle {handle}")
-        if t < seg.t_start:
+        if t < t_start:
             raise ValueError(
-                f"interval ends before it starts ({t} < {seg.t_start})"
+                f"interval ends before it starts ({t} < {t_start})"
             )
-        self._completed_j += seg.watts * (t - seg.t_start)
+        self._completed_j += watts * (t - t_start)
 
     def add_energy(self, joules: float) -> None:
         """Charge an instantaneous energy quantum (e.g. a burst)."""
@@ -69,9 +64,9 @@ class ActivityAccountant:
         """Exact cumulative joules at virtual time ``t`` (≥ boot)."""
         self._check_time(t)
         ongoing = sum(
-            seg.watts * (t - seg.t_start)
-            for seg in self._ongoing.values()
-            if t > seg.t_start
+            watts * (t - t_start)
+            for (t_start, watts) in self._ongoing.values()
+            if t > t_start
         )
         idle = self.idle_power_w * (t - self.t_boot)
         return idle + self._completed_j + ongoing

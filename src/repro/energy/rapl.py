@@ -70,6 +70,8 @@ class RaplPackage:
         )
         self.power_cap_w: float = params.pkg_tdp_w
         self.active_cores = 0
+        #: (cap, cores, occ, utils, incremental) -> (watts, freq_ratio)
+        self._activity_cache: dict[tuple, tuple[float, float]] = {}
 
     def set_power_cap(self, watts: float) -> None:
         if watts <= 0:
@@ -98,19 +100,29 @@ class RaplPackage:
         interval already covers the core for the whole allocation.
         """
         self.active_cores += 1
-        ratio = self.freq_ratio(flop_util, mem_util)
-        occ = self.occupancy_frac
-        watts = self.power.core_active_power(flop_util, mem_util, ratio,
-                                             occupancy_frac=occ)
-        if incremental_over_spin:
-            p = self.power.params
-            watts = max(
-                0.0,
-                watts - self.power.core_active_power(
-                    p.spin_flop_util, p.spin_mem_util, ratio,
-                    occupancy_frac=occ,
-                ),
-            )
+        # The (ratio, watts) pair is a pure function of the cache key —
+        # solvers charging per iteration hit the same operating point
+        # thousands of times, so the arithmetic is memoized.
+        key = (self.power_cap_w, self.active_cores, self.occupancy_frac,
+               flop_util, mem_util, incremental_over_spin)
+        cached = self._activity_cache.get(key)
+        if cached is None:
+            ratio = self.freq_ratio(flop_util, mem_util)
+            occ = self.occupancy_frac
+            watts = self.power.core_active_power(flop_util, mem_util, ratio,
+                                                 occupancy_frac=occ)
+            if incremental_over_spin:
+                p = self.power.params
+                watts = max(
+                    0.0,
+                    watts - self.power.core_active_power(
+                        p.spin_flop_util, p.spin_mem_util, ratio,
+                        occupancy_frac=occ,
+                    ),
+                )
+            cached = self._activity_cache[key] = (watts, ratio)
+        else:
+            watts, ratio = cached
         return self.pkg_accountant.begin(watts, t), ratio
 
     def begin_core_spin(self, t: float) -> int:

@@ -1,0 +1,162 @@
+"""Content-addressed disk cache for analytic configuration results.
+
+The paper grid is 72 configurations x 10 seeded repetitions, and the
+figure builders, the summary grid, and ``repro sweep`` all revisit the
+same points.  This cache makes every analytic evaluation pay-once: a
+result is stored under the SHA-256 of its *full* input description —
+
+* the configuration key (algorithm, n, ranks, shape, repetitions, seed,
+  spread, jitter, power cap), and
+* a **model fingerprint** hashing every calibration coefficient and
+  machine-spec field the analytic evaluator reads.
+
+Because the fingerprint is part of the address, editing any calibration
+constant or machine parameter silently invalidates every cached result —
+there is no staleness to manage and no version counter to bump.  Entries
+are written atomically (temp file + ``os.replace``), so concurrent sweep
+workers can share one cache directory; both racers write identical bytes.
+
+Layout: ``<root>/<hash[:2]>/<hash>.json`` with the config echoed inside
+each entry for debuggability.  The root defaults to ``.repro-cache/`` in
+the working directory and can be moved with ``REPRO_CACHE_DIR`` (set it
+to ``off`` — or ``0``/empty — to disable caching entirely).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.placement import LoadShape
+from repro.perfmodel.calibration import Calibration
+
+#: environment override for the cache root ("off"/"0"/"" disables)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+#: bumped only when the *schema* of stored entries changes
+ENTRY_SCHEMA = 1
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, repr floats."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def model_fingerprint(calib: Calibration, machine: MachineSpec) -> str:
+    """Hash of every model input the analytic evaluator depends on.
+
+    Both are (nested) frozen dataclasses, so ``asdict`` enumerates every
+    coefficient; any change to any field yields a new fingerprint and
+    therefore a different cache address for every configuration.
+    """
+    payload = {
+        "schema": ENTRY_SCHEMA,
+        "calibration": dataclasses.asdict(calib),
+        "machine": dataclasses.asdict(machine),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def result_to_dict(result) -> dict:
+    """JSON form of a :class:`~repro.experiments.runner.ConfigResult`."""
+    d = dataclasses.asdict(result)
+    d["shape"] = result.shape.value
+    return d
+
+
+def result_from_dict(d: dict):
+    from repro.experiments.runner import ConfigResult
+
+    d = dict(d)
+    d["shape"] = LoadShape(d["shape"])
+    return ConfigResult(**d)
+
+
+def _cache_root() -> Path | None:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env is None:
+        return Path(DEFAULT_CACHE_DIR)
+    if env.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return Path(env)
+
+
+class ResultCache:
+    """Content-addressed store of ConfigResult entries under one root."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------ addressing
+    @staticmethod
+    def address(config: dict, fingerprint: str) -> str:
+        """SHA-256 address of one configuration under one model."""
+        return hashlib.sha256(
+            canonical_json({"config": config, "model": fingerprint}).encode()
+        ).hexdigest()
+
+    def path_for(self, address: str) -> Path:
+        return self.root / address[:2] / f"{address}.json"
+
+    # -------------------------------------------------------------- get/put
+    def get(self, config: dict, fingerprint: str):
+        """Cached ConfigResult for the exact (config, model) pair, or None."""
+        path = self.path_for(self.address(config, fingerprint))
+        try:
+            entry = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(entry["result"])
+
+    def put(self, config: dict, fingerprint: str, result) -> Path:
+        """Store a result atomically; safe under concurrent writers."""
+        address = self.address(config, fingerprint)
+        path = self.path_for(address)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "address": address,
+            "config": config,
+            "model": fingerprint,
+            "result": result_to_dict(result),
+        }
+        payload = json.dumps(entry, indent=1, sort_keys=True) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)  # atomic on POSIX; racers write same bytes
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+_DEFAULT_CACHES: dict[Path, ResultCache] = {}
+
+
+def default_result_cache() -> ResultCache | None:
+    """Process-wide cache at the configured root (None when disabled).
+
+    One instance per root, so hit/miss counters accumulate across the
+    callers sharing it (figure builders, summary grid, sweep workers).
+    """
+    root = _cache_root()
+    if root is None:
+        return None
+    cache = _DEFAULT_CACHES.get(root)
+    if cache is None:
+        cache = _DEFAULT_CACHES[root] = ResultCache(root)
+    return cache

@@ -3,8 +3,12 @@
 ``run_analytic`` evaluates a configuration at paper scale through the
 analytic model (ten seeded repetitions modelling the changing node sets);
 ``run_monitored`` runs the full monitored DES pipeline at validation scale.
-Results are cached per process — the figure builders share many
-configurations.
+Analytic results are cached at two levels: an in-process ``lru_cache``
+(the figure builders share many configurations) backed by the
+content-addressed disk cache of :mod:`repro.experiments.cache`, which
+survives across processes and is keyed by the configuration *and* a
+fingerprint of every calibration/machine coefficient — editing the model
+invalidates the stored results automatically.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from dataclasses import dataclass
 from repro.cluster.machine import MachineSpec, marconi_a3
 from repro.cluster.placement import LoadShape
 from repro.core.framework import ExperimentSpec, MonitoringFramework
+from repro.experiments.cache import default_result_cache, model_fingerprint
 from repro.experiments.configs import PAPER_REPETITIONS
 from repro.perfmodel.analytic import analytic_run
 from repro.perfmodel.calibration import DEFAULT_CALIBRATION, Calibration
@@ -49,8 +54,52 @@ class ConfigResult:
         return self.domain_means_j[domain]
 
 
+def _config_key(
+    algorithm: str, n: int, ranks: int, shape: LoadShape,
+    repetitions: int, base_seed: int, spread: float, jitter: float,
+    power_cap_w: float | None,
+) -> dict:
+    """The disk-cache configuration key (scalars only; model inputs are
+    covered by the fingerprint)."""
+    return {
+        "algorithm": algorithm,
+        "n": n,
+        "ranks": ranks,
+        "shape": shape.value,
+        "repetitions": repetitions,
+        "base_seed": base_seed,
+        "node_efficiency_spread": spread,
+        "fabric_jitter": jitter,
+        "power_cap_w": power_cap_w,
+    }
+
+
 @functools.lru_cache(maxsize=4096)
 def _run_analytic_cached(
+    algorithm: str, n: int, ranks: int, shape: LoadShape,
+    repetitions: int, base_seed: int, spread: float, jitter: float,
+    power_cap_w: float | None, calib: Calibration, machine: MachineSpec,
+) -> ConfigResult:
+    """L1 (lru, this process) over L2 (content-addressed disk) over the
+    actual evaluation."""
+    disk = default_result_cache()
+    if disk is not None:
+        config = _config_key(algorithm, n, ranks, shape, repetitions,
+                             base_seed, spread, jitter, power_cap_w)
+        fingerprint = model_fingerprint(calib, machine)
+        hit = disk.get(config, fingerprint)
+        if hit is not None:
+            return hit
+    result = _evaluate_analytic(
+        algorithm, n, ranks, shape, repetitions, base_seed, spread,
+        jitter, power_cap_w, calib, machine,
+    )
+    if disk is not None:
+        disk.put(config, fingerprint, result)
+    return result
+
+
+def _evaluate_analytic(
     algorithm: str, n: int, ranks: int, shape: LoadShape,
     repetitions: int, base_seed: int, spread: float, jitter: float,
     power_cap_w: float | None, calib: Calibration, machine: MachineSpec,

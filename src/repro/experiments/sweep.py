@@ -1,0 +1,249 @@
+"""Parallel campaign executor: the paper grid across worker processes.
+
+``repro sweep`` drives a whole evaluation campaign — by default the full
+§5 grid (2 algorithms x 4 matrix sizes x Table-1 rank/shape configs)
+through the analytic evaluator, or with ``--quick`` a validation-scale
+grid through the full monitored DES pipeline — through a
+``multiprocessing`` pool (``--jobs N``).
+
+Every task is routed through the content-addressed result cache of
+:mod:`repro.experiments.cache`: a completed configuration is skipped on
+re-runs (across processes and across sessions), and any edit to the
+calibration constants or the machine spec changes the model fingerprint
+and transparently invalidates every stored entry.  Workers share one
+cache directory safely — entries are written atomically and identical
+inputs produce identical bytes.
+
+The worker pool uses the ``fork`` start method (POSIX): tasks are plain
+picklable tuples, results are plain dicts, and the parent's environment
+(including ``REPRO_CACHE_DIR``) is inherited.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from repro.cluster.placement import LoadShape
+from repro.experiments.cache import (
+    default_result_cache,
+    model_fingerprint,
+    result_to_dict,
+)
+from repro.experiments.configs import EvaluationGrid, PAPER_REPETITIONS
+
+#: validation-scale DES points for ``--quick`` (algorithm-agnostic part)
+QUICK_POINTS: tuple[tuple[int, int], ...] = ((288, 4), (288, 8), (432, 8))
+QUICK_REPETITIONS = 3
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work (picklable, deterministic)."""
+
+    mode: str  # "analytic" (paper scale) | "monitored" (validation DES)
+    algorithm: str
+    n: int
+    ranks: int
+    shape_value: str
+    repetitions: int
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return (f"{self.algorithm}-n{self.n}-p{self.ranks}"
+                f"-{self.shape_value}")
+
+
+def paper_tasks() -> list[SweepTask]:
+    """The full §5.1 evaluation grid, analytic mode."""
+    return [
+        SweepTask("analytic", c.algorithm, c.n, c.ranks, c.shape.value,
+                  PAPER_REPETITIONS)
+        for c in EvaluationGrid()
+    ]
+
+
+def quick_tasks() -> list[SweepTask]:
+    """Validation-scale monitored-DES grid (the expensive-per-task mode)."""
+    return [
+        SweepTask("monitored", algorithm, n, ranks, LoadShape.FULL.value,
+                  QUICK_REPETITIONS)
+        for algorithm in ("ime", "scalapack")
+        for (n, ranks) in QUICK_POINTS
+    ]
+
+
+def _task_machine(task: SweepTask):
+    from repro.cluster.machine import marconi_a3, small_test_machine
+
+    if task.mode == "analytic":
+        return marconi_a3()
+    return small_test_machine(cores_per_socket=max(1, task.ranks // 2))
+
+
+def _task_config(task: SweepTask) -> dict:
+    """The cache key for one task (model inputs live in the fingerprint)."""
+    return {
+        "mode": task.mode,
+        "algorithm": task.algorithm,
+        "n": task.n,
+        "ranks": task.ranks,
+        "shape": task.shape_value,
+        "repetitions": task.repetitions,
+        "seed": task.seed,
+    }
+
+
+def _compute_task(task: SweepTask):
+    """Evaluate one task from scratch; returns a ConfigResult."""
+    from repro.experiments.runner import run_analytic, run_monitored
+
+    shape = LoadShape(task.shape_value)
+    machine = _task_machine(task)
+    if task.mode == "analytic":
+        return run_analytic(task.algorithm, task.n, task.ranks, shape,
+                            machine, repetitions=task.repetitions,
+                            base_seed=task.seed)
+    from repro.workloads.generator import generate_system
+
+    return run_monitored(task.algorithm,
+                         generate_system(task.n, seed=task.seed),
+                         task.ranks, shape, machine,
+                         repetitions=task.repetitions)
+
+
+def run_task(task: SweepTask) -> dict:
+    """Execute one task through the cache; returns a result row.
+
+    Module-level so the multiprocessing pool can pickle it by reference.
+    """
+    t0 = time.perf_counter()  # repro: allow[DET001] -- sweep throughput reporting
+    cache = default_result_cache()
+    cached = False
+    result = None
+    if cache is not None:
+        from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+
+        config = _task_config(task)
+        fingerprint = model_fingerprint(DEFAULT_CALIBRATION,
+                                        _task_machine(task))
+        result = cache.get(config, fingerprint)
+        cached = result is not None
+    if result is None:
+        result = _compute_task(task)
+        if cache is not None:
+            cache.put(config, fingerprint, result)
+    wall = time.perf_counter() - t0  # repro: allow[DET001] -- sweep throughput reporting
+    row = {"label": task.label, "cached": cached, "wall_s": wall}
+    row.update(result_to_dict(result))
+    return row
+
+
+def run_sweep(jobs: int = 1, quick: bool = False,
+              tasks: list[SweepTask] | None = None,
+              progress=None) -> dict:
+    """Run a sweep; returns ``{"rows": [...], "wall_s": ..., ...}``.
+
+    ``jobs`` > 1 fans tasks out over a fork-based process pool; rows come
+    back in the deterministic task order regardless of completion order.
+    """
+    if tasks is None:
+        tasks = quick_tasks() if quick else paper_tasks()
+    t0 = time.perf_counter()  # repro: allow[DET001] -- sweep throughput reporting
+    if jobs <= 1 or len(tasks) <= 1:
+        rows = []
+        for task in tasks:
+            rows.append(run_task(task))
+            if progress is not None:
+                progress(rows[-1])
+    else:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+            indexed = pool.imap_unordered(
+                _run_indexed, list(enumerate(tasks))
+            )
+            rows = [None] * len(tasks)
+            for i, row in indexed:
+                rows[i] = row
+                if progress is not None:
+                    progress(row)
+    wall = time.perf_counter() - t0  # repro: allow[DET001] -- sweep throughput reporting
+    return {
+        "grid": "quick" if quick else "paper",
+        "jobs": jobs,
+        "tasks": len(tasks),
+        "from_cache": sum(1 for r in rows if r["cached"]),
+        "wall_s": wall,
+        "rows": rows,
+    }
+
+
+def _run_indexed(item: tuple[int, SweepTask]) -> tuple[int, dict]:
+    i, task = item
+    return i, run_task(task)
+
+
+def format_table(report: dict) -> str:
+    header = (f"{'config':<34} {'mode':<10} {'T_mean s':>10} "
+              f"{'E_mean J':>12} {'P W':>8} {'cache':>6} {'wall s':>8}")
+    lines = [header, "-" * len(header)]
+    for row in report["rows"]:
+        power = (row["mean_total_j"] / row["mean_duration"]
+                 if row["mean_duration"] else 0.0)
+        lines.append(
+            f"{row['label']:<34} "
+            f"{'hit' if row['cached'] else 'run':<10} "
+            f"{row['mean_duration']:>10.3f} {row['mean_total_j']:>12.1f} "
+            f"{power:>8.1f} {str(row['cached']).lower():>6} "
+            f"{row['wall_s']:>8.3f}"
+        )
+    lines.append(
+        f"{report['tasks']} configs ({report['grid']} grid), "
+        f"{report['from_cache']} from cache, jobs={report['jobs']}, "
+        f"total wall {report['wall_s']:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
+    parser.add_argument("--quick", action="store_true",
+                        help="validation-scale DES grid instead of the "
+                             "full analytic paper grid")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the report JSON to a file")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache root (default .repro-cache/, or "
+                             "$REPRO_CACHE_DIR; 'off' disables)")
+
+
+def run_from_args(args) -> int:
+    if args.cache_dir is not None:
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    report = run_sweep(
+        jobs=args.jobs, quick=args.quick,
+        progress=(None if args.json else
+                  lambda row: print(
+                      f"  {row['label']} "
+                      f"[{'cache' if row['cached'] else 'run'}] "
+                      f"{row['wall_s']:.3f}s", flush=True)),
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_table(report))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0

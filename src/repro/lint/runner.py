@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.lint import rules_det, rules_mpi, rules_obs, rules_sim
+from repro.lint import rules_det, rules_fast, rules_mpi, rules_obs, rules_sim
 from repro.lint.findings import Finding, sort_findings
 from repro.lint.model import ModuleInfo, infer_simcall_names, parse_module
 from repro.lint.suppressions import collect_suppressions, is_suppressed
@@ -24,6 +24,7 @@ ALL_RULES = (
     "DET001",   # wall-clock read in the deterministic core
     "DET002",   # unseeded / ambient entropy
     "DET003",   # iteration over a set (hash-seed-dependent order)
+    "FAST001",  # fast-path dispatch without a gated message fallback
     "MPI001",   # disjoint literal send/recv tags in one function
     "MPI002",   # asymmetric collectives across rank branches
     "MPI003",   # PAPI start/stop not barrier-fenced in a rank program
@@ -76,6 +77,7 @@ def _lint_module(module: ModuleInfo, simcall_names: frozenset[str],
     findings.extend(rules_sim.check(module, simcall_names, code_defined))
     if _det_applies(module.path, options):
         findings.extend(rules_det.check(module))
+    findings.extend(rules_fast.check(module))
     findings.extend(rules_mpi.check(module))
     findings.extend(rules_obs.check(module))
     findings = _selected(findings, options)

@@ -58,13 +58,20 @@ class RankContext:
         papi: PapiLibrary,
         profile: ComputeProfile,
         node_efficiency: float = 1.0,
+        sim=None,
     ):
         if node_efficiency <= 0:
             raise ValueError(f"node_efficiency must be positive: {node_efficiency}")
         self.rank = rank
         self.core = core
         self.rapl_node = rapl_node
+        #: simulator handle; lets charging read the clock directly instead
+        #: of a ``yield NOW`` round trip per timestamp (same value — the
+        #: engine's clock is exact at every resume point)
+        self._sim = sim
         self._papi = papi
+        #: the bound core's RAPL package (fixed for the context's lifetime)
+        self._pkg = rapl_node.package(core.socket_id)
         self.profile = profile
         #: per-repetition node speed factor (the paper's runs landed on
         #: different node sets each time; this models that variance)
@@ -112,8 +119,9 @@ class RankContext:
             dram_bytes = flops * prof.dram_bytes_per_flop
         if dram_bytes < 0:
             raise ValueError(f"negative dram_bytes: {dram_bytes}")
-        pkg = self.rapl_node.package(self.core.socket_id)
-        t0 = yield NOW
+        pkg = self._pkg
+        sim = self._sim
+        t0 = sim.now if sim is not None else (yield NOW)
         # The job keeps a spin interval open on every allocated core, so a
         # compute segment charges only the increment above busy-waiting.
         handle, freq_ratio = pkg.begin_core_activity(
@@ -129,7 +137,7 @@ class RankContext:
                             "dram_bytes": float(dram_bytes)},
             )
         yield acquire_delay(dt)
-        t1 = yield NOW
+        t1 = sim.now if sim is not None else (yield NOW)
         pkg.end_core_activity(handle, t1)
         pkg.charge_dram_traffic(dram_bytes, t0, t1)
         if tracer is not None:
@@ -151,12 +159,13 @@ class RankContext:
             yield acquire_delay(seconds)
             return
         prof = profile if profile is not None else self.profile
-        pkg = self.rapl_node.package(self.core.socket_id)
-        t0 = yield NOW
+        pkg = self._pkg
+        sim = self._sim
+        t0 = sim.now if sim is not None else (yield NOW)
         handle, _ = pkg.begin_core_activity(
             prof.flop_util, prof.mem_util, t0, incremental_over_spin=True
         )
         yield acquire_delay(seconds)
-        t1 = yield NOW
+        t1 = sim.now if sim is not None else (yield NOW)
         pkg.end_core_activity(handle, t1)
         self.compute_seconds += seconds

@@ -168,6 +168,7 @@ class Job:
                     papi=self.papi_instances[core.node_id],
                     profile=self.profile,
                     node_efficiency=float(self.node_efficiency[core.node_id]),
+                    sim=self.sim,
                 )
             )
         for ctx in contexts:

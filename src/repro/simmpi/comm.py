@@ -26,7 +26,7 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from repro.simmpi import fastcoll
+from repro.simmpi import fastcoll, fastp2p
 from repro.simmpi.datatypes import copy_payload, payload_nbytes
 from repro.simmpi.engine import Simulator, WaitEvent, acquire_delay
 from repro.simmpi.errors import CommMismatchError, SimMPIError
@@ -307,6 +307,12 @@ class World:
         #: rendezvous records of in-flight fast-path collectives, keyed by
         #: (cid, tag); see :mod:`repro.simmpi.fastcoll`
         self._fast_colls: dict[tuple, Any] = {}
+        #: in-flight fast-path p2p flows, keyed (cid, dst) -> (src, tag) ->
+        #: flow record; see :mod:`repro.simmpi.fastp2p`
+        self._flows: dict[tuple, dict] = {}
+        #: (cid, rank) pairs whose receives went through a wildcard-capable
+        #: operation — their traffic stays on the message-level path
+        self._p2p_degraded: set[tuple] = set()
         self.track_traffic = track_traffic
         #: aggregate traffic statistics (message count / bytes, split by scope)
         self.stats = TrafficStats()
@@ -406,14 +412,28 @@ class Communicator:
             raise SimMPIError(f"{what} rank {rank} out of range [0, {self.size})")
 
     # ----------------------------------------------------------------- p2p
+    def _flow_send_ok(self, dest: int, tag: int) -> bool:
+        """True when a send may ride a flow record (see
+        :mod:`repro.simmpi.fastp2p`): fast path on, deterministic tag, no
+        observers attached, destination not degraded to the mailbox."""
+        world = self.world
+        return (world.sim.fast_p2p and tag >= 0
+                and world.tracer is None and world.sanitizer is None
+                and (self.cid, dest) not in world._p2p_degraded)
+
     def isend(self, payload: Any, dest: int, tag: int = 0,
               nbytes: int | None = None) -> Request:
         """Post a non-blocking send; the message is buffered eagerly.
 
         ``nbytes`` overrides the payload's measured size (used by symbolic
         workloads that ship placeholder buffers with annotated wire sizes).
+        With :attr:`Simulator.fast_p2p` the message rides a flow record
+        instead of the mailbox (identical Request timing); the message
+        path below is the bit-identical reference.
         """
         self._check_rank(dest, "destination")
+        if self._flow_send_ok(dest, tag):
+            return fastp2p.fast_isend(self, payload, dest, tag, nbytes)
         world = self.world
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         src_node = self.node_of(self.rank)
@@ -458,7 +478,18 @@ class Communicator:
     @_traced("p2p")
     def send(self, payload: Any, dest: int, tag: int = 0,
              nbytes: int | None = None):
-        """Blocking send (eager): returns after the CPU send overhead."""
+        """Blocking send (eager): returns after the CPU send overhead.
+
+        Dispatches to the closed-form flow path under
+        :attr:`Simulator.fast_p2p`; the message-level path is the
+        bit-identical reference.
+        """
+        self._check_rank(dest, "destination")
+        if self._flow_send_ok(dest, tag):
+            return fastp2p.fast_send(self, payload, dest, tag, nbytes)
+        return self._send_message(payload, dest, tag, nbytes)
+
+    def _send_message(self, payload, dest, tag, nbytes):
         req = self.isend(payload, dest, tag=tag, nbytes=nbytes)
         yield from req.wait()
 
@@ -467,6 +498,10 @@ class Communicator:
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
         world = self.world
+        if world.sim.fast_p2p:
+            # Pending-receive bookkeeping lives in the mailbox: flush this
+            # rank's flows into it and stay message-level from here on.
+            fastp2p.degrade(self)
         ev = world.sim.event(name="irecv")
         box = world._mailbox(self.cid, self.rank)
         box.post_recv(_PendingRecv(source=source, tag=tag, event=ev,
@@ -500,6 +535,10 @@ class Communicator:
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Non-blocking probe; returns the envelope or ``None``."""
+        if self.world.sim.fast_p2p:
+            # Probing inspects the mailbox, so in-flight flows must land
+            # there first (and stay there — degradation is sticky).
+            fastp2p.degrade(self)
         box = self.world._mailbox(self.cid, self.rank)
         for msg in box.messages.values():
             if _Mailbox._matches(msg, source, tag):
@@ -543,9 +582,26 @@ class Communicator:
     @_traced("p2p")
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              with_status: bool = False):
-        """Blocking receive; returns the payload (or ``(payload, status)``)."""
+        """Blocking receive; returns the payload (or ``(payload, status)``).
+
+        An exact ``(source, tag)`` receive dispatches to the closed-form
+        flow path under :attr:`Simulator.fast_p2p`; wildcards degrade this
+        rank to the bit-identical message-level path below (ANY_SOURCE
+        matching needs the mailbox's cross-flow arbitration).
+        """
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
+        world = self.world
+        if world.sim.fast_p2p:
+            if (source != ANY_SOURCE and tag >= 0
+                    and world.tracer is None and world.sanitizer is None
+                    and (self.cid, self.rank) not in world._p2p_degraded):
+                return fastp2p.fast_recv(self, source, tag, with_status)
+            if tag >= 0 or tag == ANY_TAG:
+                fastp2p.degrade(self)
+        return self._recv_message(source, tag, with_status)
+
+    def _recv_message(self, source, tag, with_status):
         world = self.world
         ev = world.sim.event(name="recv")
         box = world._mailbox(self.cid, self.rank)
@@ -559,6 +615,54 @@ class Communicator:
             return msg.payload, {"source": msg.src, "tag": msg.tag,
                                  "nbytes": msg.nbytes}
         return msg.payload
+
+    # ------------------------------------------------------------- pipeline
+    def pipeline(self, steps):
+        """Run a chain of data-dependent collective stages.
+
+        ``steps`` is a sequence of stage tuples, identical in kinds and
+        roots on every rank:
+
+        ``("gather", root, payload)``
+            every rank contributes ``payload``; the root's stage result is
+            the rank-ordered list, everyone else's ``None``;
+        ``("bcast", root, producer)``
+            the root calls ``producer(prev)`` — ``prev`` being its result
+            of the previous stage (``None`` on the first) — and broadcasts
+            the returned payload; non-root ranks pass ``producer=None``.
+
+        Returns this rank's list of per-stage results.  The reference
+        path below simply drives the stages one collective at a time
+        (each dispatching fast/message as usual, with its own span and
+        sanitizer entry); under :attr:`Simulator.fast_p2p` on untraced,
+        unsanitized worlds the whole chain fuses into a single rendezvous
+        with one park/wake per rank and bit-identical virtual times (see
+        :func:`repro.simmpi.fastp2p.fast_pipeline`) — the engine IMe's
+        per-level gather→bcast→bcast exchange registers on.
+        """
+        world = self.world
+        if (world.sim.fast_p2p and world.tracer is None
+                and world.sanitizer is None):
+            return fastp2p.fast_pipeline(self, steps)
+        return self._pipeline_compose(steps)
+
+    def _pipeline_compose(self, steps):
+        out: list = []
+        prev = None
+        for st in steps:
+            kind, root = st[0], st[1]
+            if kind == "gather":
+                res = yield from self.gather(st[2], root=root)
+            elif kind == "bcast":
+                payload = None
+                if self.rank == root and st[2] is not None:
+                    payload = st[2](prev)
+                res = yield from self.bcast(payload, root=root)
+            else:
+                raise SimMPIError(f"unknown pipeline stage kind {kind!r}")
+            out.append(res)
+            prev = res
+        return out
 
     # ----------------------------------------------------------- collectives
     def _next_coll_tag(self) -> int:

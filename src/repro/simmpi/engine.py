@@ -338,6 +338,7 @@ class Simulator:
     """
 
     def __init__(self, fast_collectives: bool = True,
+                 fast_p2p: bool = False,
                  sanitize: bool | None = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, Any]] = []
@@ -363,6 +364,12 @@ class Simulator:
         #: messages (see :mod:`repro.simmpi.fastcoll`); the message-level
         #: path is kept for validation via ``fast_collectives=False``
         self.fast_collectives = fast_collectives
+        #: deterministic point-to-point traffic (and ``Communicator.
+        #: pipeline`` compositions) completes through closed-form flow
+        #: records instead of mailbox events (see
+        #: :mod:`repro.simmpi.fastp2p`); off by default — the message-level
+        #: path is the bit-identical reference
+        self.fast_p2p = fast_p2p
 
     @property
     def now(self) -> float:

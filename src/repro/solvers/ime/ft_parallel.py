@@ -190,41 +190,51 @@ def ime_ft_parallel_program(ctx, comm, system=None,
             fail_at = None
 
         # ----------------------------------------------- one level (as IMeP)
+        # The gather→bcast(aux)→bcast(chat) chain runs as one pipeline so
+        # the fast-p2p engine can fuse the whole level into a single
+        # rendezvous; the compose path drives the same collectives one at
+        # a time.
         m_local = (local_cols[level, :].copy() if not is_checksum_rank
                    else np.array([]))
-        gathered = yield from alive.gather(m_local, root=master)
-
-        if alive.rank == 0:  # master (world rank 0 keeps alive-rank 0)
-            m_full = np.empty(n)
-            for r, shard in enumerate(gathered):
-                src_world = alive.group()[r]
-                if src_world == cs_rank or len(shard) == 0:
-                    continue
-                cols = np.nonzero(owner_of == src_world)[0]
-                m_full[cols] = shard
-            p = m_full[level]
-            if p == 0.0:
-                raise SingularMatrixError(
-                    f"zero inhibition pivot at level {level}"
-                )
-            hl = h_master[level] / p
-            m_masked = m_full.copy()
-            m_masked[level] = 0.0
-            h_master -= m_masked * hl
-            h_master[level] = hl
-            aux = (hl, p)
-        else:
-            aux = None
-        hl, p = yield from alive.bcast(aux, root=0)
-
         owner_world = int(owner_of[level])
         owner_alive = alive.group().index(owner_world)
-        if rank == owner_world:
-            lcol = local_index(level)
-            chat = local_cols[level:, lcol] / p
+
+        if alive.rank == 0:  # master (world rank 0 keeps alive-rank 0)
+            def _aux(gathered, level=level, alive=alive):
+                nonlocal h_master
+                m_full = np.empty(n)
+                for r, shard in enumerate(gathered):
+                    src_world = alive.group()[r]
+                    if src_world == cs_rank or len(shard) == 0:
+                        continue
+                    cols = np.nonzero(owner_of == src_world)[0]
+                    m_full[cols] = shard
+                p = m_full[level]
+                if p == 0.0:
+                    raise SingularMatrixError(
+                        f"zero inhibition pivot at level {level}"
+                    )
+                hl = h_master[level] / p
+                m_masked = m_full.copy()
+                m_masked[level] = 0.0
+                h_master -= m_masked * hl
+                h_master[level] = hl
+                return (hl, p)
         else:
-            chat = None
-        chat = yield from alive.bcast(chat, root=owner_alive)
+            _aux = None
+
+        if rank == owner_world:
+            def _chat(aux, level=level):
+                _hl, p = aux
+                return local_cols[level:, local_index(level)] / p
+        else:
+            _chat = None
+
+        _gathered, (hl, p), chat = yield from alive.pipeline((
+            ("gather", master, m_local),
+            ("bcast", 0, _aux),
+            ("bcast", owner_alive, _chat),
+        ))
 
         if is_checksum_rank:
             m_cs = local_cols[level, :].copy()

@@ -34,6 +34,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+try:  # in-place panel flush (optional; numpy fallback below)
+    from scipy.linalg.blas import dgemm as _dgemm
+except ImportError:  # pragma: no cover - scipy is in the baked toolchain
+    _dgemm = None
+
 from repro.solvers.dense import SingularMatrixError
 
 
@@ -47,6 +52,12 @@ class ImeOptions:
     return_shards: bool = False
     #: broadcast the final solution to all ranks instead of master-only
     broadcast_solution: bool = False
+    #: defer the rank-1 table updates across this many levels and apply
+    #: them as one BLAS-3 panel update (wall-clock only — the per-level
+    #: message pattern, payload sizes, and charged flops are unchanged;
+    #: float summation order differs from ``block_levels=1``, the
+    #: level-at-a-time reference schedule)
+    block_levels: int = 24
 
 
 @functools.lru_cache(maxsize=None)
@@ -111,52 +122,115 @@ def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = No
             yield from ctx.compute(flops=float(n) * n, dram_bytes=8.0 * n * n)
 
     # ------------------------------------------------------------ levels
+    #
+    # The table updates are applied in *panels* of ``block_levels``
+    # levels: within a panel the rank-1 updates are deferred (only the
+    # row-``l`` values actually communicated are corrected on the fly),
+    # then flushed as one trailing BLAS-3 update.  The per-level message
+    # pattern — gather(row) → bcast(aux) → bcast(column) — runs through
+    # ``comm.pipeline`` so the fast-p2p engine can fuse each level's
+    # chain into a single rendezvous.
+    kb = max(1, opts.block_levels)
+    blk_levels: list[int] = []     # panel levels, oldest first
+    #: row j = that panel level's chat, stored at its global row offset
+    #: (chat_j covers columns blk_levels[j]:n), so row ``l`` reads out
+    #: every pending correction at once; (kb, n) layout makes the
+    #: per-level chat write contiguous and feeds the flush gemm its
+    #: transposed operand directly
+    blk_c = np.empty((kb, n))
+    blk_m = np.empty((kb, n_local))   # row j = that level's m_update
+    # A column pivoted inside the panel is written back to the table
+    # immediately (its chat) and its earlier panel rows in ``blk_m`` are
+    # zeroed — the pre-pivot updates no longer apply to it — so the one
+    # correction formula below is exact for pivoted columns too.
+
+    def _corrected_row(level: int) -> np.ndarray:
+        """Row ``level`` of the true table over the owned columns."""
+        k = len(blk_levels)
+        if not k:
+            return r_local[level, :].copy()
+        return r_local[level, :] - blk_c[:k, level] @ blk_m[:k]
+
+    def _flush_panel(l_end: int) -> None:
+        kk = len(blk_levels)
+        if kk and l_end < n:
+            if _dgemm is not None:
+                # In-place trailing update via the transposed problem:
+                # r_local[l_end:].T is an F-contiguous view, so BLAS can
+                # subtract the product without the temporary the numpy
+                # expression below materializes.
+                _dgemm(alpha=-1.0, a=blk_m[:kk].T, b=blk_c[:kk, l_end:],
+                       beta=1.0, c=r_local[l_end:, :].T, overwrite_c=1)
+            else:
+                r_local[l_end:, :] -= blk_c[:kk, l_end:].T @ blk_m[:kk]
+        blk_levels.clear()
+
     with ctx.span("ime:levels", levels=n):
         for level in range(n):
-            # (1) row-l entries of the owned columns go to the master.
-            m_local = r_local[level, :].copy()
-            gathered = yield from comm.gather(m_local, root=master)
-
-            # (2) master advances its h replica and broadcasts (ĥ_l, p).
-            if rank == master:
-                m_full = np.empty(n)
-                for r, shard in enumerate(gathered):
-                    m_full[_owned_columns(n, size, r)] = shard
-                p = m_full[level]
-                if p == 0.0:
-                    raise SingularMatrixError(
-                        f"zero inhibition pivot at level {level}"
-                    )
-                hl = h_master[level] / p
-                m_masked = m_full.copy()
-                m_masked[level] = 0.0
-                h_master -= m_masked * hl
-                h_master[level] = hl
-                aux = (hl, p)
-            else:
-                aux = None
-            hl, p = yield from comm.bcast(aux, root=master)
-
+            # (1) row-l entries of the owned columns go to the master;
+            # (2) master advances its h replica, broadcasts (ĥ_l, p);
             # (3) the owner of table column n+l broadcasts its normalized
             #     active part to everyone.
+            m_local = _corrected_row(level)
             owner = level % size
+
+            if rank == master:
+                def _aux(gathered, level=level):
+                    nonlocal h_master
+                    m_full = np.empty(n)
+                    for r, shard in enumerate(gathered):
+                        m_full[_owned_columns(n, size, r)] = shard
+                    p = m_full[level]
+                    if p == 0.0:
+                        raise SingularMatrixError(
+                            f"zero inhibition pivot at level {level}"
+                        )
+                    hl = h_master[level] / p
+                    # Entry ``level`` picks up a bogus increment here, but
+                    # the next statement overwrites it — every other entry
+                    # sees exactly the masked update.
+                    h_master -= m_full * hl
+                    h_master[level] = hl
+                    return (hl, p)
+            else:
+                _aux = None
+
+            if rank == owner:
+                def _chat(aux, level=level):
+                    _hl, p = aux
+                    lcol = local_of[level]
+                    k = len(blk_levels)
+                    if k:
+                        col = r_local[level:, lcol] \
+                            - blk_m[:k, lcol] @ blk_c[:k, level:]
+                    else:
+                        col = r_local[level:, lcol].copy()
+                    col /= p
+                    return col
+            else:
+                _chat = None
+
+            _gathered, (hl, p), chat = yield from comm.pipeline((
+                ("gather", master, m_local),
+                ("bcast", master, _aux),
+                ("bcast", owner, _chat),
+            ))
+
+            # (4) local inhibition of row `level` over the active window,
+            # deferred into the panel.
+            k = len(blk_levels)
+            blk_m[k] = m_local
             if rank == owner:
                 lcol = local_of[level]
-                chat = r_local[level:, lcol] / p
-            else:
-                chat = None
-            chat = yield from comm.bcast(chat, root=owner)
-
-            # (4) local inhibition of row `level` over the active window.
-            m_update = m_local.copy()
-            if rank == owner:
-                m_update[local_of[level]] = 0.0
-            r_local[level:, :] -= np.outer(chat, m_update)
-            if rank == owner:
-                r_local[level:, local_of[level]] = chat
+                blk_m[:k + 1, lcol] = 0.0
+                r_local[level:, lcol] = chat
+            blk_levels.append(level)
+            blk_c[k, level:] = chat
             h_local -= m_local * hl
             if rank == owner:
                 h_local[local_of[level]] = hl
+            if len(blk_levels) == kb or level == n - 1:
+                _flush_panel(level + 1)
 
             if opts.charge_compute:
                 flops = _level_flops_per_rank(n, level, size)

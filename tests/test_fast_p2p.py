@@ -1,0 +1,221 @@
+"""Fast point-to-point (flow fusion) equivalence tests.
+
+The contract (see ``repro/simmpi/fastp2p.py`` and docs/performance.md):
+with ``fast_p2p=True`` and no tracer/sanitizer attached, deterministic
+p2p traffic and fused pipeline compositions are *bit-identical* to the
+message-level reference — same results, same virtual times, same traffic
+counters, same oracle energy.  Wildcards (``ANY_SOURCE``/``ANY_TAG``)
+and probes degrade back to the mailbox; attaching a tracer keeps the
+reference path (with its spans) in force.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.runtime.job import Job
+from repro.simmpi.comm import ANY_SOURCE, World
+from repro.simmpi.engine import Simulator
+from repro.simmpi.fabric import UniformFabric
+from repro.solvers.ime.ft_parallel import FtOptions, ime_ft_parallel_program
+from repro.solvers.ime.parallel import ImeOptions, ime_parallel_program
+from repro.workloads.generator import generate_system
+
+
+def run_world(size, program, fast):
+    """Run ``program(comm)`` per rank; return (results, now, traffic)."""
+    sim = Simulator()
+    sim.fast_p2p = fast
+    world = World(sim, size, fabric=UniformFabric(),
+                  node_of=lambda r: r % 2)
+    procs = [sim.spawn(program(comm), name=f"rank{comm.rank}")
+             for comm in world.comm_world()]
+    sim.run()
+    return [p.result for p in procs], sim.now, world.stats.snapshot()
+
+
+def both_modes(size, program):
+    """Fast and message runs must be bit-identical; returns the results."""
+    rf, tf, sf = run_world(size, program, True)
+    rm, tm, sm = run_world(size, program, False)
+    assert tf == tm, f"virtual time diverged: {tf!r} != {tm!r}"
+    assert sf == sm, f"traffic counters diverged: {sf} != {sm}"
+    for a, b in zip(rf, rm):
+        _assert_same(a, b)
+    return rf
+
+
+def _assert_same(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_array_equal(a, b)
+    elif isinstance(a, (tuple, list)):
+        assert type(a) is type(b) and len(a) == len(b)
+        for x, y in zip(a, b):
+            _assert_same(x, y)
+    else:
+        assert a == b
+
+
+def run_ime_job(n, ranks, fast, seed=0, ft_options=None, ime_options=None):
+    """Full-stack IMe job (energy accounting included) in one p2p mode."""
+    machine = small_test_machine(cores_per_socket=max(1, ranks // 2))
+    placement = place_ranks(ranks, LoadShape.FULL, machine)
+    system = generate_system(n, seed=seed)
+    job = Job(machine, placement)
+    job.sim.fast_p2p = fast
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        if ft_options is not None:
+            return (yield from ime_ft_parallel_program(
+                ctx, comm, system=sys_arg, options=ft_options))
+        return (yield from ime_parallel_program(
+            ctx, comm, system=sys_arg, options=ime_options))
+
+    return job.run(program), system
+
+
+def assert_jobs_identical(rf, rm):
+    assert rf.duration == rm.duration
+    assert rf.node_energy_j == rm.node_energy_j
+    assert rf.traffic == rm.traffic
+    for a, b in zip(rf.rank_results, rm.rank_results):
+        _assert_same(a, b)
+
+
+# -------------------------------------------------------- flow primitives
+def test_send_recv_chain_equivalence():
+    """Deterministic-tag send/recv chains ride flows bit-identically."""
+    def program(comm):
+        out = []
+        if comm.rank == 0:
+            for k in range(4):
+                yield from comm.send(("payload", k), dest=1, tag=5)
+            out.append((yield from comm.recv(source=1, tag=6)))
+        elif comm.rank == 1:
+            for k in range(4):
+                out.append((yield from comm.recv(source=0, tag=5)))
+            yield from comm.send("ack", dest=0, tag=6)
+        return out
+
+    results = both_modes(2, program)
+    assert results[1] == [("payload", k) for k in range(4)]
+
+
+def test_isend_overlap_equivalence():
+    """Nonblocking sends overlapping recvs keep identical Request timing."""
+    def program(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(np.full(8, float(k)), dest=1, tag=k)
+                    for k in range(3)]
+            yield from comm.waitall(reqs)
+            return None
+        if comm.rank == 1:
+            out = []
+            for k in (2, 0, 1):  # out-of-order matching across tags
+                out.append((yield from comm.recv(source=0, tag=k)))
+            return out
+        return None
+
+    results = both_modes(2, program)
+    assert [int(a[0]) for a in results[1]] == [2, 0, 1]
+
+
+def test_any_source_degrades_to_message_path():
+    """A wildcard recv flushes flows to the mailbox; results identical."""
+    def program(comm):
+        if comm.rank == 0:
+            got = []
+            for _ in range(comm.size - 1):
+                p, st = yield from comm.recv(source=ANY_SOURCE, tag=3,
+                                             with_status=True)
+                got.append((st["source"], p))
+            # After degradation, later deterministic traffic still works.
+            p = yield from comm.recv(source=1, tag=4)
+            got.append(p)
+            return got
+        yield from comm.send(comm.rank * 10, dest=0, tag=3)
+        if comm.rank == 1:
+            yield from comm.send("post-degrade", dest=0, tag=4)
+        return None
+
+    results = both_modes(4, program)
+    assert sorted(results[0][:3]) == [(1, 10), (2, 20), (3, 30)]
+    assert results[0][3] == "post-degrade"
+
+
+def test_negative_tags_never_ride_flows():
+    """Control-plane tags (< 0, e.g. recovery traffic) stay message-level."""
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send("ctl", dest=1, tag=-99)
+            return (yield from comm.recv(source=1, tag=2))
+        yield from comm.send("data", dest=0, tag=2)
+        return (yield from comm.recv(source=0, tag=-99))
+
+    results = both_modes(2, program)
+    assert results == ["data", "ctl"]
+
+
+# ----------------------------------------------------- solver equivalence
+@pytest.mark.parametrize("block_levels", [1, 24])
+def test_ime_job_bit_identical(block_levels):
+    """IMe end-to-end: time, energy, traffic, and solution all equal."""
+    opts = ImeOptions(block_levels=block_levels)
+    (rf, system) = run_ime_job(96, 4, True, ime_options=opts)
+    (rm, _) = run_ime_job(96, 4, False, ime_options=opts)
+    assert_jobs_identical(rf, rm)
+    np.testing.assert_allclose(
+        rf.rank_results[0], np.linalg.solve(system.a, system.b), atol=1e-8)
+    assert rf.traffic["messages"] > 0
+
+
+def test_ime_ft_job_bit_identical_fault_free():
+    (rf, _) = run_ime_job(96, 4, True, ft_options=FtOptions(n_checksums=4))
+    (rm, _) = run_ime_job(96, 4, False, ft_options=FtOptions(n_checksums=4))
+    assert_jobs_identical(rf, rm)
+
+
+def test_ime_ft_job_bit_identical_with_recovery():
+    """Recovery (wildcard + negative-tag traffic) degrades transparently."""
+    opts = FtOptions(n_checksums=32, fail_rank=2, fail_level=40)
+    (rf, system) = run_ime_job(96, 4, True, ft_options=opts)
+    (rm, _) = run_ime_job(96, 4, False, ft_options=opts)
+    assert_jobs_identical(rf, rm)
+    x, report = rf.rank_results[0]
+    np.testing.assert_allclose(x, np.linalg.solve(system.a, system.b),
+                               atol=1e-7)
+    assert report is not None and report["recovered_at_level"] == 40
+
+
+# ------------------------------------------------------------ traced runs
+def test_tracer_keeps_reference_path_and_spans():
+    """With a tracer attached the fused fast path must stand down: the
+    run keeps its per-stage spans and the same virtual timeline."""
+    from repro.obs.tracer import SpanTracer
+
+    def run(fast):
+        machine = small_test_machine(cores_per_socket=2)
+        placement = place_ranks(4, LoadShape.FULL, machine)
+        system = generate_system(64, seed=3)
+        job = Job(machine, placement)
+        job.sim.fast_p2p = fast
+        tracer = SpanTracer()
+        job.attach_tracer(tracer)
+
+        def program(ctx, comm):
+            sys_arg = system if comm.rank == 0 else None
+            return (yield from ime_parallel_program(ctx, comm,
+                                                    system=sys_arg))
+
+        return job.run(program), tracer
+
+    rf, tracer_f = run(True)
+    rm, tracer_m = run(False)
+    assert rf.duration == rm.duration
+    assert rf.traffic == rm.traffic
+    spans_f = [(s.name, s.cat, s.t_start, s.t_end) for s in tracer_f.spans]
+    spans_m = [(s.name, s.cat, s.t_start, s.t_end) for s in tracer_m.spans]
+    assert spans_f == spans_m
+    assert any(cat == "coll" for _, cat, _, _ in spans_f)

@@ -145,11 +145,32 @@ def test_ime_parallel_matches_numpy(n, ranks):
 
 
 def test_ime_parallel_bitwise_matches_sequential():
-    """The parallel schedule performs the same arithmetic as sequential."""
-    result, system = run_ime_parallel(24, 4, seed=7)
+    """With ``block_levels=1`` (the level-at-a-time reference schedule)
+    the parallel run performs the same arithmetic as sequential."""
+    opts = ImeOptions(block_levels=1)
+    result, system = run_ime_parallel(24, 4, seed=7, options=opts)
     x_par = result.rank_results[0]
     x_seq = ime_solve(system.a, system.b)
     np.testing.assert_array_equal(x_par, x_seq)
+
+
+def test_ime_parallel_blocked_matches_reference_schedule():
+    """The blocked-panel schedule (``block_levels>1``) reassociates the
+    float sums but stays within a few ulps of the reference schedule."""
+    ref, system = run_ime_parallel(
+        24, 4, seed=7, options=ImeOptions(block_levels=1)
+    )
+    for kb in (3, 8, 24, 64):
+        blk, _ = run_ime_parallel(
+            24, 4, seed=7, options=ImeOptions(block_levels=kb)
+        )
+        np.testing.assert_allclose(
+            blk.rank_results[0], ref.rank_results[0], rtol=1e-13, atol=0
+        )
+        # The schedule only changes local arithmetic: the simulated
+        # communication (and therefore time/energy) must be untouched.
+        assert blk.duration == ref.duration
+        assert blk.total_energy_j == ref.total_energy_j
 
 
 def test_ime_parallel_shards_consistent_with_master():

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.cluster.machine import small_test_machine
 from repro.cluster.placement import LoadShape, place_ranks
 from repro.runtime.job import Job
-from repro.solvers.ime.parallel import ime_parallel_program
+from repro.solvers.ime.parallel import ImeOptions, ime_parallel_program
 from repro.solvers.ime.schemes import (
     BlockwiseOptions,
     ime_blockwise_program,
@@ -76,12 +76,20 @@ def test_blockwise_grid_mismatch():
 
 
 def test_all_three_schemes_agree_bitwise():
-    """Same arithmetic order ⇒ identical results across the schemes."""
+    """Same arithmetic order ⇒ identical results across the schemes.
+
+    The column scheme is pinned to ``block_levels=1``: the blocked panel
+    schedule (the performance default) reorders the trailing updates and
+    is only allclose-equal (see ``tests/test_ime.py``).
+    """
     outs = {}
-    for name, prog in [("col", ime_parallel_program),
-                       ("row", ime_rowwise_program),
-                       ("block", ime_blockwise_program)]:
-        result, system = run_scheme(prog, 24, 4, seed=9)
+    for name, prog, kwargs in [
+        ("col", ime_parallel_program,
+         {"options": ImeOptions(block_levels=1)}),
+        ("row", ime_rowwise_program, {}),
+        ("block", ime_blockwise_program, {}),
+    ]:
+        result, system = run_scheme(prog, 24, 4, seed=9, **kwargs)
         outs[name] = result.rank_results[0]
     seq = ime_solve(system.a, system.b)
     for name, x in outs.items():

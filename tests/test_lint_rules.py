@@ -300,6 +300,74 @@ class TestObs:
         assert findings == []
 
 
+class TestFast001:
+    def test_bad_unconditional_dispatch(self):
+        findings = lint("""
+            from repro.simmpi import fastcoll
+
+            def bcast(self, payload, root):
+                return fastcoll.fast_bcast(self, payload, root)
+        """)
+        assert rules_of(findings) == ["FAST001"]
+        assert "unconditionally" in findings[0].message
+
+    def test_bad_guard_without_gate(self):
+        findings = lint("""
+            from repro.simmpi import fastp2p
+
+            def send(self, payload, dest, tag):
+                if tag >= 0:
+                    return fastp2p.fast_send(self, payload, dest, tag)
+                return self._send_message(payload, dest, tag)
+        """)
+        assert rules_of(findings) == ["FAST001"]
+        assert "fast_p2p/fast_collectives" in findings[0].message
+
+    def test_good_gated_ternary(self):
+        findings = lint("""
+            from repro.simmpi import fastcoll
+
+            def bcast(self, payload, root):
+                world = self.world
+                return (fastcoll.fast_bcast(self, payload, root)
+                        if world.sim.fast_collectives
+                        else self._bcast_message(payload, root))
+        """)
+        assert findings == []
+
+    def test_good_gate_helper_indirection(self):
+        # The _flow_send_ok pattern: the guard calls a same-module
+        # helper whose body reads the engine gate.
+        findings = lint("""
+            from repro.simmpi import fastp2p
+
+            def _flow_send_ok(self, dest, tag):
+                return self.world.sim.fast_p2p and tag >= 0
+
+            def send(self, payload, dest, tag):
+                if self._flow_send_ok(dest, tag):
+                    return fastp2p.fast_send(self, payload, dest, tag)
+                return self._send_message(payload, dest, tag)
+        """)
+        assert findings == []
+
+    def test_non_fast_importers_exempt(self):
+        findings = lint("""
+            def bcast(helper, payload):
+                return helper.fast_bcast(payload)
+        """)
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint("""
+            from repro.simmpi import fastcoll
+
+            def replay(self, payload, root):
+                return fastcoll.fast_bcast(self, payload, root)  # repro: allow[FAST001] -- replay tool
+        """)
+        assert findings == []
+
+
 # --------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_inline_allow(self):

@@ -1,0 +1,192 @@
+"""Content-addressed result cache + parallel sweep executor tests."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cluster.machine import marconi_a3
+from repro.cluster.placement import LoadShape
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import (
+    ResultCache,
+    default_result_cache,
+    model_fingerprint,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.runner import (
+    ConfigResult,
+    _run_analytic_cached,
+    run_analytic,
+)
+from repro.experiments.sweep import (
+    SweepTask,
+    paper_tasks,
+    quick_tasks,
+    run_sweep,
+    run_task,
+)
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the default cache at a fresh directory; clear the L1."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cache_mod._DEFAULT_CACHES.clear()
+    _run_analytic_cached.cache_clear()
+    yield
+    cache_mod._DEFAULT_CACHES.clear()
+    _run_analytic_cached.cache_clear()
+
+
+def sample_result(**overrides) -> ConfigResult:
+    kwargs = dict(
+        algorithm="ime", n=8640, ranks=144, shape=LoadShape.FULL,
+        repetitions=10, mean_duration=1.5, stdev_duration=0.01,
+        mean_total_j=1000.0, mean_package_j=800.0, mean_dram_j=200.0,
+        domain_means_j={"package-0": 400.0, "dram-0": 100.0},
+    )
+    kwargs.update(overrides)
+    return ConfigResult(**kwargs)
+
+
+CONFIG = {"algorithm": "ime", "n": 8640, "ranks": 144, "shape": "full"}
+
+
+# ------------------------------------------------------------ cache core
+class TestResultCache:
+    def test_roundtrip_preserves_result_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fp = model_fingerprint(DEFAULT_CALIBRATION, marconi_a3())
+        result = sample_result()
+        cache.put(CONFIG, fp, result)
+        assert cache.get(CONFIG, fp) == result
+
+    def test_miss_on_unknown_config(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fp = model_fingerprint(DEFAULT_CALIBRATION, marconi_a3())
+        assert cache.get(CONFIG, fp) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_calibration_change_invalidates(self, tmp_path):
+        """Editing any calibration coefficient must miss the cache."""
+        cache = ResultCache(tmp_path / "c")
+        machine = marconi_a3()
+        fp = model_fingerprint(DEFAULT_CALIBRATION, machine)
+        cache.put(CONFIG, fp, sample_result())
+        edited = dataclasses.replace(DEFAULT_CALIBRATION,
+                                     scal_pivot_factor=1.99)
+        fp2 = model_fingerprint(edited, machine)
+        assert fp2 != fp
+        assert cache.get(CONFIG, fp2) is None
+        assert cache.get(CONFIG, fp) is not None
+
+    def test_machine_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fp = model_fingerprint(DEFAULT_CALIBRATION, marconi_a3())
+        cache.put(CONFIG, fp, sample_result())
+        other = dataclasses.replace(marconi_a3(), cores_per_socket=48)
+        fp2 = model_fingerprint(DEFAULT_CALIBRATION, other)
+        assert fp2 != fp
+        assert cache.get(CONFIG, fp2) is None
+
+    def test_entries_are_sharded_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fp = model_fingerprint(DEFAULT_CALIBRATION, marconi_a3())
+        path = cache.put(CONFIG, fp, sample_result())
+        address = cache.address(CONFIG, fp)
+        assert path == tmp_path / "c" / address[:2] / f"{address}.json"
+        entry = json.loads(path.read_text())
+        assert entry["config"] == CONFIG
+        assert entry["model"] == fp
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fp = model_fingerprint(DEFAULT_CALIBRATION, marconi_a3())
+        path = cache.put(CONFIG, fp, sample_result())
+        path.write_text("{not json")
+        assert cache.get(CONFIG, fp) is None
+
+    def test_result_dict_roundtrip_handles_shape_enum(self):
+        result = sample_result(shape=LoadShape.HALF_TWO_SOCKETS)
+        d = result_to_dict(result)
+        assert d["shape"] == "half-2sockets"
+        assert result_from_dict(json.loads(json.dumps(d))) == result
+
+
+class TestDefaultCache:
+    def test_env_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        assert default_result_cache() is None
+
+    def test_same_root_shares_instance(self):
+        assert default_result_cache() is default_result_cache()
+
+
+# ------------------------------------------------- analytic runner L1/L2
+class TestRunnerDiskCache:
+    def test_results_shared_across_simulated_processes(self, tmp_path):
+        r1 = run_analytic("ime", 8640, 144)
+        disk = default_result_cache()
+        assert disk.misses >= 1
+        # A new process would start with a cold lru but a warm disk.
+        _run_analytic_cached.cache_clear()
+        hits_before = disk.hits
+        r2 = run_analytic("ime", 8640, 144)
+        assert disk.hits == hits_before + 1
+        assert r1 == r2
+
+    def test_disabled_cache_still_computes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        _run_analytic_cached.cache_clear()
+        r = run_analytic("scalapack", 8640, 144)
+        assert r.mean_duration > 0
+
+
+# ------------------------------------------------------------- the sweep
+class TestSweep:
+    def test_grids_cover_the_paper_and_quick_sets(self):
+        paper = paper_tasks()
+        assert len(paper) == 72  # 2 algs x 4 sizes x 3 ranks x 3 shapes
+        assert all(t.mode == "analytic" for t in paper)
+        quick = quick_tasks()
+        assert all(t.mode == "monitored" for t in quick)
+        assert {t.algorithm for t in quick} == {"ime", "scalapack"}
+
+    def test_run_task_caches_monitored_runs(self):
+        task = SweepTask("monitored", "ime", 64, 4, "full", repetitions=1)
+        cold = run_task(task)
+        warm = run_task(task)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        for key in ("mean_duration", "mean_total_j", "domain_means_j"):
+            assert warm[key] == cold[key]
+
+    def test_sweep_serial_then_warm(self):
+        tasks = [
+            SweepTask("analytic", alg, 8640, 144, "full", repetitions=2)
+            for alg in ("ime", "scalapack")
+        ]
+        cold = run_sweep(jobs=1, tasks=tasks)
+        assert cold["from_cache"] == 0
+        assert [r["label"] for r in cold["rows"]] == \
+            [t.label for t in tasks]
+        warm = run_sweep(jobs=1, tasks=tasks)
+        assert warm["from_cache"] == len(tasks)
+
+    def test_sweep_pool_matches_serial(self):
+        """The fork pool must produce the same rows, in task order."""
+        tasks = [
+            SweepTask("analytic", alg, n, 144, "full", repetitions=2)
+            for alg in ("ime", "scalapack") for n in (8640, 17280)
+        ]
+        pooled = run_sweep(jobs=2, tasks=tasks)
+        serial = run_sweep(jobs=1, tasks=tasks)
+        assert serial["from_cache"] == len(tasks)  # pool warmed the disk
+        strip = lambda rows: [  # noqa: E731
+            {k: v for k, v in r.items() if k not in ("wall_s", "cached")}
+            for r in rows
+        ]
+        assert strip(pooled["rows"]) == strip(serial["rows"])
