@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test doctest lint docs-check bench bench-quick figures clean
+.PHONY: install test doctest lint docs-check bench bench-quick bench-diff \
+	figures clean
 
 install:
 	python setup.py develop
@@ -33,6 +34,13 @@ bench:
 # regresses >2x against the committed baseline.
 bench-quick:
 	PYTHONPATH=src python tools/bench_sim.py --quick --check
+
+# Per-point speedup deltas of the working-tree BENCH_simperf.json
+# against the committed (HEAD) one.
+bench-diff:
+	@git show HEAD:BENCH_simperf.json > .bench_base.json
+	python tools/bench_compare.py .bench_base.json BENCH_simperf.json
+	@rm -f .bench_base.json
 
 # Regenerate every table/figure series into benchmarks/results/
 figures:

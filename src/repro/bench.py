@@ -60,11 +60,12 @@ class BenchPoint:
 #: flops on the critical path bound the achievable speedup.
 DEFAULT_POINTS: tuple[BenchPoint, ...] = (
     BenchPoint("ime", 1080, 4, quick=True),
+    BenchPoint("ime-ft", 1080, 4, quick=True),
     BenchPoint("scalapack", 1080, 4, nb=40, quick=True),
     BenchPoint("ime", 2160, 8),
     BenchPoint("ime-ft", 2160, 8),
     BenchPoint("ime", 2160, 16),
-    BenchPoint("scalapack", 2160, 16, nb=48),
+    BenchPoint("scalapack", 2160, 16, nb=48, quick=True),
     BenchPoint("scalapack", 4320, 16, nb=48),
     BenchPoint("scalapack-skel", 4320, 16, nb=48),
 )

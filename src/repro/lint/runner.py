@@ -13,7 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.lint import rules_det, rules_fast, rules_mpi, rules_obs, rules_sim
+from repro.lint import (
+    rules_det,
+    rules_fast,
+    rules_mpi,
+    rules_obs,
+    rules_perf,
+    rules_sim,
+)
 from repro.lint.findings import Finding, sort_findings
 from repro.lint.model import ModuleInfo, infer_simcall_names, parse_module
 from repro.lint.suppressions import collect_suppressions, is_suppressed
@@ -29,6 +36,7 @@ ALL_RULES = (
     "MPI002",   # asymmetric collectives across rank branches
     "MPI003",   # PAPI start/stop not barrier-fenced in a rank program
     "OBS001",   # span opened but never closed / never entered
+    "PERF001",  # per-level np.outer trailing update in a rank program
     "E999",     # file does not parse
 )
 
@@ -80,6 +88,7 @@ def _lint_module(module: ModuleInfo, simcall_names: frozenset[str],
     findings.extend(rules_fast.check(module))
     findings.extend(rules_mpi.check(module))
     findings.extend(rules_obs.check(module))
+    findings.extend(rules_perf.check(module))
     findings = _selected(findings, options)
     suppressions = collect_suppressions(module.source)
     return [

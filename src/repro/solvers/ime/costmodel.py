@@ -61,7 +61,15 @@ class ImeCostModel:
         return 3.0 * n * (n - levels) / n_ranks
 
     @staticmethod
-    def level_bcast_bytes(n: int) -> np.ndarray:
+    def ft_level_flops_per_rank(n: int, n_data_ranks: int,
+                                n_checksums: int = 0) -> np.ndarray:
+        """Per-level flops of the fault-tolerant run: the data-rank share
+        3n(n−l)/(N−1), plus — on the checksum rank, which passes its
+        ``n_checksums`` weighted columns through both the subtracted
+        update and the added normalization correction — 2c(n−l) extra."""
+        levels = np.arange(n, dtype=np.float64)
+        return (3.0 * n * (n - levels) / n_data_ranks
+                + 2.0 * n_checksums * (n - levels))
         """Pivot-column broadcast payload at each level: (n−l) floats."""
         levels = np.arange(n, dtype=np.float64)
         return FLOAT_BYTES * (n - levels)

@@ -29,6 +29,23 @@ The failure level and victim are parameters (a deterministic simulation
 has no spontaneous faults); ``fail_rank`` must be a slave data rank — the
 master's h replica and the checksum rank are single points the SRDS
 design protects by replication, out of scope here.
+
+Blocked trailing updates
+------------------------
+Like plain IMeP, the per-level rank-1 table updates are deferred into
+panels of ``block_levels`` levels and flushed as one BLAS-3 update
+through the shared kernel (:mod:`repro.solvers.kernels`).  The checksum
+rank needs *two* accumulators — the subtracted ``chat ⊗ m_cs`` update
+and the added ``chat ⊗ w_l`` normalization correction — flushed in the
+reference order.  Panels flush at the failure boundary before the
+shrink, so every table row the recovery protocol's reductions feed into
+recovered rows ``≥ fail_level`` is exact; rows *above* the failure
+level may be stale mid-panel, but recovery reconstructs columns
+row-independently and no row above the failure level is ever read again
+(the same dead-row argument that lets plain IMeP skip updating row
+``l`` at level ``l``).  ``block_levels=1`` reproduces the level-wise
+arithmetic bitwise (the kernel contract), which the equivalence tests
+pin against plain IMeP and the sequential solver.
 """
 
 from __future__ import annotations
@@ -38,7 +55,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.solvers.dense import SingularMatrixError
+from repro.solvers.ime.costmodel import ImeCostModel
 from repro.solvers.ime.fault import FaultRecoveryError
+from repro.solvers.kernels import PanelAccumulator
 
 
 @dataclass(frozen=True)
@@ -52,6 +71,12 @@ class FtOptions:
     #: ... immediately before this level
     fail_level: int = 0
     charge_compute: bool = True
+    #: defer the rank-1 table updates across this many levels and apply
+    #: them as one BLAS-3 panel update (wall-clock only — the per-level
+    #: message pattern, payload sizes, charged flops, and the recovery
+    #: report are unchanged; ``block_levels=1`` is the bitwise
+    #: level-wise reference)
+    block_levels: int = 24
 
     def __post_init__(self):
         if self.n_checksums < 1:
@@ -128,12 +153,48 @@ def ime_ft_parallel_program(ctx, comm, system=None,
     #: global column -> owning world rank, kept identical on all ranks
     owner_of = np.arange(n, dtype=np.int64) % n_data
     alive = comm
-    failed = False
     recovery_report = None
 
-    def local_index(g: int) -> int:
-        return int(np.searchsorted(owned, g))
+    kb = max(1, opts.block_levels)
+    # The deferred trailing-update panels (shared blocked kernel).  The
+    # checksum rank folds its two per-level rank-1 updates into a
+    # subtract accumulator (chat ⊗ m_cs) and an add accumulator
+    # (chat ⊗ w_l), flushed in the reference order.
+    acc = PanelAccumulator(kb, n, local_cols.shape[1], zero_c_prefix=False)
+    acc_w = (PanelAccumulator(kb, n, opts.n_checksums, sign=1.0,
+                              zero_c_prefix=False)
+             if is_checksum_rank else None)
 
+    #: global column -> local column index on the owning rank (rebuilt
+    #: only when the master adopts recovered columns)
+    local_pos = np.full(n, -1, dtype=np.int64)
+    local_pos[owned] = np.arange(len(owned))
+
+    # Per-communicator lookup caches — the per-level hot path must not
+    # rebuild the alive group or rescan ``owner_of``; both change only
+    # at the (single) shrink.
+    def _comm_caches():
+        group = alive.group()
+        alive_pos = {int(w): i for i, w in enumerate(group)}
+        if rank == master:
+            gather_cols = [
+                None if w == cs_rank else np.nonzero(owner_of == w)[0]
+                for w in group
+            ]
+        else:
+            gather_cols = None
+        return alive_pos, gather_cols
+
+    alive_pos, gather_cols = _comm_caches()
+
+    # Published per-level compute cost (checksum rank pays 2c(n−l) extra
+    # for its c weighted columns).
+    if opts.charge_compute:
+        level_flops = ImeCostModel.ft_level_flops_per_rank(
+            n, n_data, opts.n_checksums if is_checksum_rank else 0
+        )
+
+    m_empty = np.empty(0)
     fail_at = opts.fail_level if opts.fail_rank is not None else None
 
     for level in range(n):
@@ -143,6 +204,13 @@ def ime_ft_parallel_program(ctx, comm, system=None,
                 # The victim drops out; survivors shrink the communicator.
                 yield from alive.split(color=None)
                 return "failed"
+            # The recovery reductions below read whole table columns, so
+            # survivors flush their pending panels first: rows ≥ level
+            # become exact; staler rows only feed recovered rows the
+            # solve never reads again (see the module docstring).
+            acc.flush(local_cols, level)
+            if acc_w is not None:
+                acc_w.flush(local_cols, level)
             alive = yield from alive.split(color=0, key=alive.rank)
 
             # -------------------------------------------------- recovery
@@ -184,7 +252,12 @@ def ime_ft_parallel_program(ctx, comm, system=None,
                 h_local = np.concatenate(
                     [h_local, h_master[lost]]
                 )[order]
+                local_pos = np.full(n, -1, dtype=np.int64)
+                local_pos[owned] = np.arange(len(owned))
+                acc = PanelAccumulator(kb, n, local_cols.shape[1],
+                                       zero_c_prefix=False)
             owner_of[lost] = master
+            alive_pos, gather_cols = _comm_caches()
             recovery_report = {"lost_columns": len(lost),
                                "recovered_at_level": level}
             fail_at = None
@@ -194,20 +267,19 @@ def ime_ft_parallel_program(ctx, comm, system=None,
         # the fast-p2p engine can fuse the whole level into a single
         # rendezvous; the compose path drives the same collectives one at
         # a time.
-        m_local = (local_cols[level, :].copy() if not is_checksum_rank
-                   else np.array([]))
+        m_local = (acc.row(local_cols, level) if not is_checksum_rank
+                   else m_empty)
         owner_world = int(owner_of[level])
-        owner_alive = alive.group().index(owner_world)
+        owner_alive = alive_pos[owner_world]
 
         if alive.rank == 0:  # master (world rank 0 keeps alive-rank 0)
-            def _aux(gathered, level=level, alive=alive):
+            def _aux(gathered, level=level):
                 nonlocal h_master
                 m_full = np.empty(n)
                 for r, shard in enumerate(gathered):
-                    src_world = alive.group()[r]
-                    if src_world == cs_rank or len(shard) == 0:
+                    cols = gather_cols[r]
+                    if cols is None or len(shard) == 0:
                         continue
-                    cols = np.nonzero(owner_of == src_world)[0]
                     m_full[cols] = shard
                 p = m_full[level]
                 if p == 0.0:
@@ -215,9 +287,10 @@ def ime_ft_parallel_program(ctx, comm, system=None,
                         f"zero inhibition pivot at level {level}"
                     )
                 hl = h_master[level] / p
-                m_masked = m_full.copy()
-                m_masked[level] = 0.0
-                h_master -= m_masked * hl
+                # Entry ``level`` picks up a bogus increment here, but
+                # the next statement overwrites it — every other entry
+                # sees exactly the masked update.
+                h_master -= m_full * hl
                 h_master[level] = hl
                 return (hl, p)
         else:
@@ -226,7 +299,9 @@ def ime_ft_parallel_program(ctx, comm, system=None,
         if rank == owner_world:
             def _chat(aux, level=level):
                 _hl, p = aux
-                return local_cols[level:, local_index(level)] / p
+                col = acc.col(local_cols, local_pos[level], level)
+                col /= p
+                return col
         else:
             _chat = None
 
@@ -237,27 +312,31 @@ def ime_ft_parallel_program(ctx, comm, system=None,
         ))
 
         if is_checksum_rank:
-            m_cs = local_cols[level, :].copy()
-            local_cols[level:, :] -= np.outer(chat, m_cs)
-            local_cols[level:, :] += np.outer(chat, weights[:, level])
+            m_cs = acc.row(local_cols, level)
+            if acc_w.k:
+                m_cs += acc_w.correction_row(level)
+            acc.push(chat, level, m_cs)
+            acc_w.push(chat, level, weights[:, level])
             h_local -= m_cs * hl
             h_local += weights[:, level] * hl
         else:
-            m_update = m_local.copy()
+            acc.push(chat, level, m_local)
             if rank == owner_world:
-                m_update[local_index(level)] = 0.0
-            local_cols[level:, :] -= np.outer(chat, m_update)
+                li = local_pos[level]
+                acc.zero_m(li)
+                local_cols[level:, li] = chat
+            # Entry ``level`` of the owner picks up a bogus increment
+            # here; the overwrite below restores the masked semantics.
+            h_local -= m_local * hl
             if rank == owner_world:
-                local_cols[level:, local_index(level)] = chat
-            h_local -= m_update * hl
-            if rank == owner_world:
-                h_local[local_index(level)] = hl
+                h_local[local_pos[level]] = hl
+        if acc.k == kb or level == n - 1:
+            acc.flush(local_cols, level + 1)
+            if acc_w is not None:
+                acc_w.flush(local_cols, level + 1)
 
         if opts.charge_compute:
-            extra = opts.n_checksums if is_checksum_rank else 0
-            yield from ctx.compute(
-                flops=3.0 * n * (n - level) / n_data + 2.0 * extra * (n - level)
-            )
+            yield from ctx.compute(flops=float(level_flops[level]))
 
     if rank == master:
         return h_master / d, recovery_report

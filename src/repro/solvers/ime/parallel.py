@@ -34,12 +34,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-try:  # in-place panel flush (optional; numpy fallback below)
-    from scipy.linalg.blas import dgemm as _dgemm
-except ImportError:  # pragma: no cover - scipy is in the baked toolchain
-    _dgemm = None
-
 from repro.solvers.dense import SingularMatrixError
+from repro.solvers.ime.costmodel import ImeCostModel
+from repro.solvers.kernels import PanelAccumulator
 
 
 @dataclass(frozen=True)
@@ -69,11 +66,6 @@ def _owned_columns(n: int, size: int, rank: int) -> np.ndarray:
     cols = np.arange(rank, n, size)
     cols.flags.writeable = False
     return cols
-
-
-def _level_flops_per_rank(n: int, level: int, size: int) -> float:
-    """Published per-level cost: Σ_l 3n(n−l) = 3/2·n³, split over N ranks."""
-    return 3.0 * n * (n - level) / size
 
 
 def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = None):
@@ -126,44 +118,18 @@ def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = No
     # The table updates are applied in *panels* of ``block_levels``
     # levels: within a panel the rank-1 updates are deferred (only the
     # row-``l`` values actually communicated are corrected on the fly),
-    # then flushed as one trailing BLAS-3 update.  The per-level message
-    # pattern — gather(row) → bcast(aux) → bcast(column) — runs through
-    # ``comm.pipeline`` so the fast-p2p engine can fuse each level's
-    # chain into a single rendezvous.
+    # then flushed as one trailing BLAS-3 update — the shared
+    # blocked-panel kernel (:mod:`repro.solvers.kernels`).  A column
+    # pivoted inside the panel is written back to the table immediately
+    # (its chat) and its pending multipliers are zeroed (``zero_m``) —
+    # the pre-pivot updates no longer apply to it — so the kernel's
+    # correction formulas stay exact for pivoted columns too.  The
+    # per-level message pattern — gather(row) → bcast(aux) →
+    # bcast(column) — runs through ``comm.pipeline`` so the fast-p2p
+    # engine can fuse each level's chain into a single rendezvous.
     kb = max(1, opts.block_levels)
-    blk_levels: list[int] = []     # panel levels, oldest first
-    #: row j = that panel level's chat, stored at its global row offset
-    #: (chat_j covers columns blk_levels[j]:n), so row ``l`` reads out
-    #: every pending correction at once; (kb, n) layout makes the
-    #: per-level chat write contiguous and feeds the flush gemm its
-    #: transposed operand directly
-    blk_c = np.empty((kb, n))
-    blk_m = np.empty((kb, n_local))   # row j = that level's m_update
-    # A column pivoted inside the panel is written back to the table
-    # immediately (its chat) and its earlier panel rows in ``blk_m`` are
-    # zeroed — the pre-pivot updates no longer apply to it — so the one
-    # correction formula below is exact for pivoted columns too.
-
-    def _corrected_row(level: int) -> np.ndarray:
-        """Row ``level`` of the true table over the owned columns."""
-        k = len(blk_levels)
-        if not k:
-            return r_local[level, :].copy()
-        return r_local[level, :] - blk_c[:k, level] @ blk_m[:k]
-
-    def _flush_panel(l_end: int) -> None:
-        kk = len(blk_levels)
-        if kk and l_end < n:
-            if _dgemm is not None:
-                # In-place trailing update via the transposed problem:
-                # r_local[l_end:].T is an F-contiguous view, so BLAS can
-                # subtract the product without the temporary the numpy
-                # expression below materializes.
-                _dgemm(alpha=-1.0, a=blk_m[:kk].T, b=blk_c[:kk, l_end:],
-                       beta=1.0, c=r_local[l_end:, :].T, overwrite_c=1)
-            else:
-                r_local[l_end:, :] -= blk_c[:kk, l_end:].T @ blk_m[:kk]
-        blk_levels.clear()
+    acc = PanelAccumulator(kb, n, n_local, zero_c_prefix=False)
+    level_flops = ImeCostModel.level_flops_per_rank(n, size)
 
     with ctx.span("ime:levels", levels=n):
         for level in range(n):
@@ -171,7 +137,7 @@ def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = No
             # (2) master advances its h replica, broadcasts (ĥ_l, p);
             # (3) the owner of table column n+l broadcasts its normalized
             #     active part to everyone.
-            m_local = _corrected_row(level)
+            m_local = acc.row(r_local, level)
             owner = level % size
 
             if rank == master:
@@ -198,13 +164,7 @@ def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = No
             if rank == owner:
                 def _chat(aux, level=level):
                     _hl, p = aux
-                    lcol = local_of[level]
-                    k = len(blk_levels)
-                    if k:
-                        col = r_local[level:, lcol] \
-                            - blk_m[:k, lcol] @ blk_c[:k, level:]
-                    else:
-                        col = r_local[level:, lcol].copy()
+                    col = acc.col(r_local, local_of[level], level)
                     col /= p
                     return col
             else:
@@ -218,23 +178,19 @@ def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = No
 
             # (4) local inhibition of row `level` over the active window,
             # deferred into the panel.
-            k = len(blk_levels)
-            blk_m[k] = m_local
+            acc.push(chat, level, m_local)
             if rank == owner:
                 lcol = local_of[level]
-                blk_m[:k + 1, lcol] = 0.0
+                acc.zero_m(lcol)
                 r_local[level:, lcol] = chat
-            blk_levels.append(level)
-            blk_c[k, level:] = chat
             h_local -= m_local * hl
             if rank == owner:
                 h_local[local_of[level]] = hl
-            if len(blk_levels) == kb or level == n - 1:
-                _flush_panel(level + 1)
+            if acc.k == kb or level == n - 1:
+                acc.flush(r_local, level + 1)
 
             if opts.charge_compute:
-                flops = _level_flops_per_rank(n, level, size)
-                yield from ctx.compute(flops=flops)
+                yield from ctx.compute(flops=float(level_flops[level]))
 
     # ------------------------------------------------------------- epilogue
     with ctx.span("ime:solution"):

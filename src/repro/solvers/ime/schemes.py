@@ -81,6 +81,7 @@ def ime_rowwise_program(ctx, comm, system=None, charge_compute: bool = True):
         active = mine >= level
         if active.any():
             chat = r_local[active, level] / p
+            # repro: allow[PERF001] -- alternative-scheme reference; kept level-wise for clarity
             r_local[active, :] -= np.outer(chat, m)
             r_local[active, level] = chat
 
@@ -188,6 +189,7 @@ def ime_blockwise_program(ctx, comm, system=None,
         if mycol == pc_l:
             m_update[lcol_of[level]] = 0.0
         if active_rows.any():
+            # repro: allow[PERF001] -- alternative-scheme reference; kept level-wise for clarity
             r_local[active_rows, :] -= np.outer(chat_seg, m_update)
             if mycol == pc_l:
                 r_local[active_rows, lcol_of[level]] = chat_seg

@@ -30,6 +30,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.solvers.dense import SingularMatrixError
+from repro.solvers.kernels import PanelAccumulator
 from repro.solvers.scalapack.blockcyclic import (
     global_indices,
     local_index,
@@ -46,6 +47,13 @@ class ScalapackOptions:
     grid: ProcessGrid | None = None
     charge_compute: bool = True
     pivoting: bool = True
+    #: factor each panel left-looking through the shared blocked kernel
+    #: (:mod:`repro.solvers.kernels`): the per-column rank-1 interior
+    #: updates are deferred and each column is materialized by one gemv
+    #: right before its pivot search.  ``False`` keeps the per-column
+    #: ``np.outer`` right-looking reference.  Pivot choices, the message
+    #: pattern, and the charged flops are identical either way.
+    blocked_panel: bool = True
 
     def resolve_grid(self, nprocs: int) -> ProcessGrid:
         grid = self.grid or ProcessGrid.squarest(nprocs)
@@ -100,6 +108,11 @@ def pdgesv_program(ctx, comm, system=None,
     nlrow, nlcol = len(grows), len(gcols)
 
     ipiv: list[int] = []
+    acc = PanelAccumulator(nb, nlrow, nb) if opts.blocked_panel else None
+    # Reusable trailing-update product buffer: the per-panel temporaries
+    # are multi-MB at paper scale, and reusing one allocation keeps the
+    # pages warm (the values are identical — same matmul either way).
+    gemm_work = np.empty(nlrow * nlcol)
 
     # ------------------------------------------------------ factorization
     with ctx.span("scalapack:factorize", nb=nb):
@@ -109,6 +122,16 @@ def pdgesv_program(ctx, comm, system=None,
         # grows/gcols, the "at or past k0" sets are suffix slices found by
         # ``searchsorted``.  Plain slices replace dict lookups and
         # ``np.ix_`` scatter/gather on every hot path below.
+        #
+        # With ``opts.blocked_panel`` the panel factorization runs
+        # *left-looking* over the shared blocked kernel: each column's
+        # scaled L segment and U row are pushed into the accumulator
+        # instead of applying a rank-1 ``np.outer`` to the whole panel
+        # remainder, a column is materialized by one gemv right before
+        # its pivot search, and swapped pivot rows are finalized (and
+        # dropped from the panel) before the exchange so the rows on the
+        # wire are the true values.  Nothing is left pending at the end
+        # of a panel — every interior column was materialized on read.
         for k0 in range(0, n, nb):
             kb = min(nb, n - k0)
             kblock = k0 // nb
@@ -117,17 +140,32 @@ def pdgesv_program(ctx, comm, system=None,
             lc0 = local_index(k0, nb, grid.npcol)  # valid iff mycol == pck
             lr0 = local_index(k0, nb, grid.nprow)  # valid iff myrow == prk
             panel_flops = 0.0
+            panel = None
+            if mycol == pck:
+                if acc is not None:
+                    acc.reset()
+                    panel = a_local[:, lc0:lc0 + kb]
+                # "at or past j" row suffixes for every panel column, in
+                # two vectorized searches instead of 2·kb scalar ones
+                pcols = np.arange(k0, k0 + kb)
+                i0s = np.searchsorted(grows, pcols)
+                i1s = np.searchsorted(grows, pcols, side="right")
 
             # ---- panel factorization (process column pck)
             for j in range(k0, k0 + kb):
+                t = j - k0
+                if panel is not None and acc.k:
+                    # Left-looking: apply the pending interior updates to
+                    # column j before anyone reads it.
+                    acc.apply_col(panel, t)
                 if opts.pivoting:
                     if mycol == pck:
-                        lj = lc0 + (j - k0)
-                        i0 = int(np.searchsorted(grows, j))
+                        lj = lc0 + t
+                        i0 = int(i0s[t])
                         if i0 < nlrow:
                             seg = a_local[i0:, lj]
-                            ii = int(np.argmax(np.abs(seg)))
-                            cand = (float(np.abs(seg[ii])),
+                            ii = int(np.abs(seg).argmax())
+                            cand = (abs(float(seg[ii])),
                                     int(grows[i0 + ii]))
                         else:
                             cand = (-1.0, -1)
@@ -148,15 +186,21 @@ def pdgesv_program(ctx, comm, system=None,
                         if myrow == pr_j:
                             lj_r = local_index(j, nb, grid.nprow)
                             lp_r = local_index(piv, nb, grid.nprow)
+                            if panel is not None and acc.k:
+                                acc.finalize_rows(panel, (lj_r, lp_r), t + 1)
                             a_local[[lj_r, lp_r], :] = a_local[[lp_r, lj_r], :]
                     elif myrow == pr_j:
                         lj_r = local_index(j, nb, grid.nprow)
+                        if panel is not None and acc.k:
+                            acc.finalize_rows(panel, (lj_r,), t + 1)
                         row_j = a_local[lj_r, :].copy()
                         yield from col_comm.send(row_j, dest=pr_p, tag=3)
                         other = yield from col_comm.recv(source=pr_p, tag=3)
                         a_local[lj_r, :] = other
                     elif myrow == pr_p:
                         lp_r = local_index(piv, nb, grid.nprow)
+                        if panel is not None and acc.k:
+                            acc.finalize_rows(panel, (lp_r,), t + 1)
                         row_p = a_local[lp_r, :].copy()
                         yield from col_comm.send(row_p, dest=pr_j, tag=3)
                         other = yield from col_comm.recv(source=pr_j, tag=3)
@@ -165,10 +209,14 @@ def pdgesv_program(ctx, comm, system=None,
                 # scale column j and update the panel remainder
                 if mycol == pck:
                     src_pr = owner_of(j, nb, grid.nprow)
-                    lj = lc0 + (j - k0)
+                    lj = lc0 + t
                     lc_end = lc0 + kb
                     if myrow == src_pr:
                         lj_r = local_index(j, nb, grid.nprow)
+                        if panel is not None and acc.k:
+                            # The U row must carry the true values of the
+                            # panel columns right of j.
+                            acc.finalize_rows(panel, (lj_r,), t + 1)
                         prow = a_local[lj_r, lj:lc_end].copy()
                     else:
                         prow = None
@@ -176,12 +224,16 @@ def pdgesv_program(ctx, comm, system=None,
                     pivot = prow[0]
                     if pivot == 0.0:
                         raise SingularMatrixError(f"zero pivot at column {j}")
-                    i1 = int(np.searchsorted(grows, j, side="right"))
+                    i1 = int(i1s[t])
                     if i1 < nlrow:
                         a_local[i1:, lj] /= pivot
                         rest = lc_end - lj - 1
-                        if rest:
-                            a_local[i1:, lj + 1:lc_end] -= (
+                        if panel is not None:
+                            if rest:
+                                acc.push(a_local[i1:, lj], i1,
+                                         prow[1:], t + 1)
+                        elif rest:
+                            a_local[i1:, lj + 1:lc_end] -= (  # repro: allow[PERF001] -- the level-wise reference path (blocked_panel=False)
                                 np.outer(a_local[i1:, lj], prow[1:])
                             )
                         panel_flops += 2.0 * (nlrow - i1) * (rest + 0.5)
@@ -217,7 +269,9 @@ def pdgesv_program(ctx, comm, system=None,
 
             # ---- trailing update (local GEMM)
             if r_b < nlrow and c_r < nlcol and u12.shape[1]:
-                a_local[r_b:, c_r:] -= l21 @ u12
+                h, w = nlrow - r_b, nlcol - c_r
+                prod = np.matmul(l21, u12, out=gemm_work[:h * w].reshape(h, w))
+                a_local[r_b:, c_r:] -= prod
                 panel_flops += 2.0 * (nlrow - r_b) * kb * (nlcol - c_r)
 
             if opts.charge_compute and panel_flops:

@@ -1,0 +1,86 @@
+"""The benchmark diff tool behind ``make bench-diff``."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO / "tools" / "bench_compare.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _report(label, fast_wall, message_wall, virtual_s=1.0, messages=10,
+            nbytes=100, energy=5.0):
+    return {
+        "schema": 1,
+        "points": [{
+            "label": label,
+            "quick": True,
+            "speedup": message_wall / fast_wall,
+            "results": {
+                mode: {
+                    "mode": mode,
+                    "wall_s": wall,
+                    "virtual_s": virtual_s,
+                    "messages": messages,
+                    "bytes": nbytes,
+                    "total_energy_j": energy,
+                }
+                for mode, wall in (("fast", fast_wall),
+                                   ("message", message_wall))
+            },
+        }],
+    }
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_speedup_delta_row(tmp_path):
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json", _report("ime-n8-p2", 2.0, 4.0))
+    new = _write(tmp_path, "new.json", _report("ime-n8-p2", 1.0, 4.0))
+    table, warnings = tool.compare(old, new)
+    assert warnings == []
+    row = next(l for l in table.splitlines() if l.startswith("ime-n8-p2"))
+    # old speedup 2.00, new 4.00, delta +2.00
+    assert "2.00" in row and "4.00" in row and "+2.00" in row
+
+
+def test_one_sided_points_are_listed_not_compared(tmp_path):
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json", _report("gone-n8-p2", 2.0, 4.0))
+    new = _write(tmp_path, "new.json", _report("added-n8-p2", 1.0, 4.0))
+    table, warnings = tool.compare(old, new)
+    assert warnings == []
+    assert "gone-n8-p2" in table and "(only in old report)" in table
+    assert "added-n8-p2" in table and "(only in new report)" in table
+
+
+def test_modeled_quantity_drift_warns(tmp_path):
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json", _report("ime-n8-p2", 2.0, 4.0))
+    new = _write(tmp_path, "new.json",
+                 _report("ime-n8-p2", 1.0, 4.0, messages=11))
+    _table, warnings = tool.compare(old, new)
+    assert len(warnings) == 2  # fast.messages and message.messages
+    assert all("simulation semantics" in w for w in warnings)
+
+
+def test_main_prints_table(tmp_path, capsys):
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json", _report("ime-n8-p2", 2.0, 4.0))
+    new = _write(tmp_path, "new.json", _report("ime-n8-p2", 1.0, 4.0))
+    assert tool.main([old, new]) == 0
+    out = capsys.readouterr().out
+    assert "old spdup" in out and "ime-n8-p2" in out

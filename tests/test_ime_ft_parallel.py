@@ -116,6 +116,62 @@ def test_checksum_rank_costs_show_in_accounting():
     assert r_heavy.duration >= r_plain.duration
 
 
+# ---------------------------------------------------------- blocked panels
+def test_blocked_kb1_fault_free_is_bitwise_sequential():
+    """At block_levels=1 every panel flushes immediately and the shared
+    kernel reproduces the level-wise reference arithmetic bitwise, so the
+    fault-free ft solve equals the sequential IMe solve exactly."""
+    from repro.solvers.ime.sequential import ime_solve
+    opts = FtOptions(n_checksums=4, block_levels=1)
+    result, system = run_ft(24, 4, seed=7, options=opts)
+    x, report = result.rank_results[0]
+    assert report is None
+    np.testing.assert_array_equal(x, ime_solve(system.a, system.b))
+
+
+def test_blocked_fault_free_models_identically_to_kb1():
+    """Larger panels change float summation order only — the modeled run
+    (virtual time, traffic, energy) is identical to block_levels=1."""
+    ref_opts = FtOptions(n_checksums=4, block_levels=1)
+    blk_opts = FtOptions(n_checksums=4, block_levels=24)
+    ref, system = run_ft(36, 4, seed=8, options=ref_opts)
+    blk, _ = run_ft(36, 4, seed=8, options=blk_opts)
+    assert blk.duration == ref.duration
+    assert blk.traffic == ref.traffic
+    assert blk.total_energy_j == ref.total_energy_j
+    x_ref, _ = ref.rank_results[0]
+    x_blk, _ = blk.rank_results[0]
+    np.testing.assert_allclose(x_blk, x_ref, atol=1e-10)
+    np.testing.assert_allclose(x_blk, np.linalg.solve(system.a, system.b),
+                               atol=1e-8)
+
+
+def test_blocked_recovery_mid_panel_is_exact():
+    """A failure at a level that is NOT panel-aligned forces the
+    mid-panel flush at the recovery boundary; the reconstruction must
+    still be exact and report identically to the kb=1 reference."""
+    n, fail_level = 36, 10
+    assert fail_level % 24 != 0  # genuinely mid-panel for block_levels=24
+    lost = len(range(1, n, 3))
+    ref_opts = FtOptions(n_checksums=lost, fail_rank=1,
+                         fail_level=fail_level, block_levels=1)
+    blk_opts = FtOptions(n_checksums=lost, fail_rank=1,
+                         fail_level=fail_level, block_levels=24)
+    ref, system = run_ft(n, 4, seed=9, options=ref_opts)
+    blk, _ = run_ft(n, 4, seed=9, options=blk_opts)
+    x_ref, rep_ref = ref.rank_results[0]
+    x_blk, rep_blk = blk.rank_results[0]
+    assert rep_blk == rep_ref == {"lost_columns": lost,
+                                  "recovered_at_level": fail_level}
+    assert blk.rank_results[1] == ref.rank_results[1] == "failed"
+    assert blk.duration == ref.duration
+    assert blk.traffic == ref.traffic
+    assert blk.total_energy_j == ref.total_energy_j
+    np.testing.assert_allclose(x_blk, x_ref, atol=1e-9)
+    np.testing.assert_allclose(x_blk, np.linalg.solve(system.a, system.b),
+                               atol=1e-8)
+
+
 @settings(max_examples=10, deadline=None)
 @given(n=st.integers(min_value=6, max_value=24),
        seed=st.integers(min_value=0, max_value=100),

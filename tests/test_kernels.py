@@ -1,0 +1,211 @@
+"""Unit tests of the shared blocked-panel kernel (repro.solvers.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.ime.costmodel import ImeCostModel
+from repro.solvers import kernels
+from repro.solvers.kernels import PanelAccumulator
+
+
+def reference_apply(table, pushes, sign=-1.0):
+    """Level-at-a-time reference of the deferred update."""
+    out = table.copy()
+    nc, nm = out.shape[0], out.shape[1]
+    for c_values, c_lo, m_values, m_lo in pushes:
+        c = np.zeros(nc)
+        c[c_lo:c_lo + len(c_values)] = c_values
+        m = np.zeros(nm)
+        m[m_lo:m_lo + len(m_values)] = m_values
+        out += sign * np.outer(c, m)
+    return out
+
+
+def make_case(rng, nc=9, nm=7, k=3):
+    table = rng.standard_normal((nc, nm))
+    pushes = []
+    for i in range(k):
+        c_lo = rng.integers(0, nc // 2)
+        m_lo = int(rng.integers(0, 2))
+        pushes.append((rng.standard_normal(nc - c_lo), int(c_lo),
+                       rng.standard_normal(nm - m_lo), m_lo))
+    return table, pushes
+
+
+@pytest.mark.parametrize("sign", [-1.0, 1.0])
+def test_flush_matches_reference(sign):
+    rng = np.random.default_rng(0)
+    table, pushes = make_case(rng)
+    acc = PanelAccumulator(4, *table.shape, sign=sign)
+    work = table.copy()
+    for push in pushes:
+        acc.push(*push)
+    acc.flush(work)
+    np.testing.assert_allclose(work, reference_apply(table, pushes, sign),
+                               atol=1e-12)
+
+
+def test_flush_lower_rows_only():
+    rng = np.random.default_rng(1)
+    table, pushes = make_case(rng)
+    acc = PanelAccumulator(4, *table.shape)
+    work = table.copy()
+    for push in pushes:
+        acc.push(*push)
+    acc.flush(work, lo=3)
+    ref = reference_apply(table, pushes)
+    np.testing.assert_allclose(work[3:], ref[3:], atol=1e-12)
+    np.testing.assert_array_equal(work[:3], table[:3])  # untouched
+    assert acc.k == 0  # flush resets the panel
+
+
+def test_numpy_fallback_matches_dgemm_path():
+    rng = np.random.default_rng(2)
+    table, pushes = make_case(rng)
+
+    def run():
+        acc = PanelAccumulator(4, *table.shape)
+        work = table.copy()
+        for push in pushes:
+            acc.push(*push)
+        acc.flush(work, lo=1)
+        return work
+
+    with_dgemm = run()
+    saved = kernels._dgemm
+    kernels._dgemm = None
+    try:
+        without = run()
+    finally:
+        kernels._dgemm = saved
+    np.testing.assert_allclose(with_dgemm, without, atol=1e-12)
+
+
+def test_row_col_corrections():
+    rng = np.random.default_rng(3)
+    table, pushes = make_case(rng)
+    acc = PanelAccumulator(4, *table.shape)
+    for push in pushes:
+        acc.push(*push)
+    ref = reference_apply(table, pushes)
+    np.testing.assert_allclose(acc.row(table, 5), ref[5], atol=1e-12)
+    np.testing.assert_allclose(acc.col(table, 2, lo=3), ref[3:, 2],
+                               atol=1e-12)
+
+
+def test_reads_are_copies_when_empty():
+    table = np.arange(12.0).reshape(4, 3)
+    acc = PanelAccumulator(2, 4, 3)
+    row = acc.row(table, 1)
+    col = acc.col(table, 0, lo=1)
+    row[0] = -1.0
+    col[0] = -1.0
+    assert table[1, 0] == 3.0 and table[1, 0] != -1.0
+
+
+def test_apply_col_materializes_in_place():
+    rng = np.random.default_rng(4)
+    table, pushes = make_case(rng)
+    acc = PanelAccumulator(4, *table.shape)
+    work = table.copy()
+    for push in pushes:
+        acc.push(*push)
+    acc.apply_col(work, 3)
+    ref = reference_apply(table, pushes)
+    np.testing.assert_allclose(work[:, 3], ref[:, 3], atol=1e-12)
+
+
+def test_finalize_rows_drops_rows_from_panel():
+    rng = np.random.default_rng(5)
+    table, pushes = make_case(rng)
+    acc = PanelAccumulator(4, *table.shape)
+    work = table.copy()
+    for push in pushes:
+        acc.push(*push)
+    ref = reference_apply(table, pushes)
+    acc.finalize_rows(work, (2, 6), m_lo=1)
+    np.testing.assert_allclose(work[2, 1:], ref[2, 1:], atol=1e-12)
+    np.testing.assert_allclose(work[6, 1:], ref[6, 1:], atol=1e-12)
+    # The finalized rows are out of the panel: a later flush must not
+    # touch them again.
+    acc.flush(work, lo=0)
+    np.testing.assert_allclose(work[2, 1:], ref[2, 1:], atol=1e-12)
+    np.testing.assert_allclose(work[6, 1:], ref[6, 1:], atol=1e-12)
+
+
+def test_finalize_rows_bounded_by_narrow_table():
+    # A partial trailing panel: M capacity wider than the table.
+    acc = PanelAccumulator(2, 4, 6)
+    narrow = np.ones((4, 3))
+    acc.push(np.ones(4), 0, np.ones(3), 0)
+    acc.finalize_rows(narrow, (1,))
+    np.testing.assert_allclose(narrow[1], np.zeros(3), atol=1e-12)
+
+
+def test_zero_m_voids_column_updates():
+    rng = np.random.default_rng(6)
+    table, pushes = make_case(rng)
+    acc = PanelAccumulator(4, *table.shape)
+    work = table.copy()
+    for push in pushes:
+        acc.push(*push)
+    acc.zero_m(4)
+    acc.flush(work)
+    ref = reference_apply(table, pushes)
+    np.testing.assert_array_equal(work[:, 4], table[:, 4])
+    np.testing.assert_allclose(np.delete(work, 4, axis=1),
+                               np.delete(ref, 4, axis=1), atol=1e-12)
+
+
+def test_kb1_flush_is_bitwise_outer():
+    """The block_levels=1 contract: a k=1 flush equals the np.outer
+    reference bit for bit (the solvers' bitwise equivalence rests on it)."""
+    rng = np.random.default_rng(7)
+    table = rng.standard_normal((8, 5))
+    chat = rng.standard_normal(6)
+    m = rng.standard_normal(5)
+    acc = PanelAccumulator(1, 8, 5, zero_c_prefix=False)
+    work = table.copy()
+    acc.push(chat, 2, m)
+    acc.flush(work, lo=2)
+    ref = table.copy()
+    c = np.zeros(8)
+    c[2:] = chat
+    ref[2:] -= np.outer(c[2:], m)
+    np.testing.assert_array_equal(work, ref)
+
+
+def test_zero_c_prefix_opt_out_requires_disciplined_reads():
+    # With the prefix skipped, entries below c_lo are garbage — but reads
+    # at or right of the push offsets (the IMe pattern) never see them.
+    acc = PanelAccumulator(2, 6, 4, zero_c_prefix=False)
+    table = np.zeros((6, 4))
+    acc.push(np.full(4, 2.0), 2, np.ones(4))
+    np.testing.assert_allclose(acc.col(table, 1, lo=2), -2.0 * np.ones(4),
+                               atol=1e-12)
+
+
+def test_reset_discards_pending():
+    acc = PanelAccumulator(2, 3, 3)
+    acc.push(np.ones(3), 0, np.ones(3))
+    acc.reset()
+    table = np.zeros((3, 3))
+    acc.flush(table)
+    np.testing.assert_array_equal(table, np.zeros((3, 3)))
+
+
+# ----------------------------------------------------------- cost model
+def test_ft_level_flops_match_scalar_expression():
+    n, p, cs = 48, 4, 6
+    series = ImeCostModel.ft_level_flops_per_rank(n, p, cs)
+    for level in range(n):
+        expected = 3.0 * n * (n - level) / p + 2.0 * cs * (n - level)
+        assert float(series[level]) == expected
+
+
+def test_ft_level_flops_no_checksums_match_plain():
+    n, p = 32, 4
+    np.testing.assert_array_equal(
+        ImeCostModel.ft_level_flops_per_rank(n, p),
+        ImeCostModel.level_flops_per_rank(n, p),
+    )

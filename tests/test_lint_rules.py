@@ -368,6 +368,78 @@ class TestFast001:
         assert findings == []
 
 
+# -------------------------------------------------------------- PERF001
+class TestPerf001:
+    def test_bad_outer_update_in_level_loop(self):
+        findings = lint("""
+            import numpy as np
+
+            def program(ctx, comm, r_local, n):
+                for level in range(n):
+                    m = yield from comm.bcast(r_local[level], root=0)
+                    r_local[level:, :] -= np.outer(r_local[level:, level], m)
+        """)
+        assert rules_of(findings) == ["PERF001"]
+        assert "PanelAccumulator" in findings[0].message
+        assert findings[0].line == 7
+
+    def test_bad_from_import_alias(self):
+        findings = lint("""
+            from numpy import outer as rank1
+
+            def program(comm, table, n):
+                for level in range(n):
+                    chat = yield from comm.bcast(table[:, level], root=0)
+                    table[level:, :] += rank1(chat, table[level])
+        """)
+        assert rules_of(findings) == ["PERF001"]
+
+    def test_good_sequential_solver_exempt(self):
+        # Not a generator — a single-rank reference solver may stay
+        # level-wise.
+        findings = lint("""
+            import numpy as np
+
+            def solve(a, n):
+                for k in range(n):
+                    a[k + 1:, k:] -= np.outer(a[k + 1:, k], a[k, k:])
+        """)
+        assert findings == []
+
+    def test_good_outer_outside_loop(self):
+        findings = lint("""
+            import numpy as np
+
+            def program(comm, table, m, chat):
+                yield from comm.barrier()
+                table[1:, :] -= np.outer(chat, m)
+        """)
+        assert findings == []
+
+    def test_good_non_numpy_outer(self):
+        findings = lint("""
+            import mylib as np
+
+            def program(comm, table, n):
+                for level in range(n):
+                    yield from comm.barrier()
+                    table[level:, :] -= np.outer(level)
+        """)
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint("""
+            import numpy as np
+
+            def program(comm, table, n):
+                for level in range(n):
+                    m = yield from comm.bcast(table[level], root=0)
+                    # repro: allow[PERF001] -- reference path
+                    table[level:, :] -= np.outer(table[level:, level], m)
+        """)
+        assert findings == []
+
+
 # --------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_inline_allow(self):

@@ -104,7 +104,7 @@ def test_blockcyclic_known_example():
 
 # -------------------------------------------------------------------- pdgesv
 def run_pdgesv(n, ranks, seed=0, nb=4, grid=None, shape=LoadShape.FULL,
-               pivoting=True):
+               pivoting=True, blocked_panel=True):
     if ranks % 2:
         machine = small_test_machine(cores_per_socket=ranks)
         placement = place_ranks(ranks, LoadShape.HALF_ONE_SOCKET, machine)
@@ -113,7 +113,8 @@ def run_pdgesv(n, ranks, seed=0, nb=4, grid=None, shape=LoadShape.FULL,
         placement = place_ranks(ranks, shape, machine)
     job = Job(machine, placement)
     system = generate_system(n, seed=seed)
-    options = ScalapackOptions(nb=nb, grid=grid, pivoting=pivoting)
+    options = ScalapackOptions(nb=nb, grid=grid, pivoting=pivoting,
+                               blocked_panel=blocked_panel)
 
     def program(ctx, comm):
         sys_arg = system if comm.rank == 0 else None
@@ -234,6 +235,37 @@ def test_property_pdgesv_exact(n, ranks, nb, seed):
     result, system = run_pdgesv(n, ranks, seed=seed, nb=nb)
     ref = np.linalg.solve(system.a, system.b)
     np.testing.assert_allclose(result.rank_results[0], ref, atol=1e-8)
+
+
+# ------------------------------------------------------------ blocked panel
+def test_pdgesv_blocked_panel_matches_reference():
+    """The shared-kernel left-looking panel factorization picks the same
+    pivots and models the same run as the per-column np.outer reference —
+    only float summation order (and wall-clock) may differ."""
+    blocked, system = run_pdgesv(29, 4, seed=31, nb=5)
+    reference, _ = run_pdgesv(29, 4, seed=31, nb=5, blocked_panel=False)
+    assert blocked.duration == reference.duration
+    assert blocked.traffic == reference.traffic
+    assert blocked.total_energy_j == reference.total_energy_j
+    ref = np.linalg.solve(system.a, system.b)
+    for xb, xr in zip(blocked.rank_results, reference.rank_results):
+        np.testing.assert_allclose(xb, xr, atol=1e-10)
+        np.testing.assert_allclose(xb, ref, atol=1e-8)
+
+
+@settings(max_examples=6, deadline=None)
+@given(n=st.integers(min_value=2, max_value=24),
+       ranks=st.sampled_from([2, 4]),
+       nb=st.integers(min_value=1, max_value=6),
+       seed=st.integers(min_value=0, max_value=50))
+def test_property_blocked_panel_models_identically(n, ranks, nb, seed):
+    blocked, system = run_pdgesv(n, ranks, seed=seed, nb=nb)
+    reference, _ = run_pdgesv(n, ranks, seed=seed, nb=nb,
+                              blocked_panel=False)
+    assert blocked.duration == reference.duration
+    assert blocked.traffic == reference.traffic
+    np.testing.assert_allclose(blocked.rank_results[0],
+                               reference.rank_results[0], atol=1e-9)
 
 
 # --------------------------------------------------------------- cost model

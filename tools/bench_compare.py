@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Diff two BENCH_simperf.json reports point by point.
+
+Usage::
+
+    python tools/bench_compare.py OLD.json NEW.json
+
+Prints one row per benchmark point: fast-path wall-clock on both sides,
+the fast-vs-message speedup on both sides, and the speedup delta — the
+number a performance PR is trying to move.  Points present on only one
+side are listed but not compared.
+
+The modeled quantities (virtual_s, messages, bytes, total_energy_j) are
+*checked*, not diffed: they are supposed to be bit-identical between any
+two runs of the same simulator version, so any difference is flagged
+loudly — it means the change altered simulation semantics, not just
+wall-clock speed.
+
+``make bench-diff`` wires this against ``git show HEAD:BENCH_simperf.json``
+so a working tree can be compared to the committed baseline in one step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: quantities that must match between runs of the same simulator semantics
+MODELED = ("virtual_s", "messages", "bytes", "total_energy_j")
+
+
+def load_points(path: str) -> dict[str, dict]:
+    report = json.loads(Path(path).read_text())
+    return {e["label"]: e for e in report.get("points", [])}
+
+
+def modeled_diffs(old: dict, new: dict) -> list[str]:
+    """Names of modeled quantities that differ in any shared mode."""
+    diffs = []
+    for mode in ("fast", "message"):
+        o = old.get("results", {}).get(mode)
+        n = new.get("results", {}).get(mode)
+        if o is None or n is None:
+            continue
+        for q in MODELED:
+            if o.get(q) != n.get(q):
+                diffs.append(f"{mode}.{q}")
+    return diffs
+
+
+def compare(old_path: str, new_path: str) -> tuple[str, list[str]]:
+    """Render the comparison table; returns ``(table, warnings)``."""
+    old_pts = load_points(old_path)
+    new_pts = load_points(new_path)
+    header = (f"{'point':<26} {'old fast':>9} {'new fast':>9} "
+              f"{'old spdup':>9} {'new spdup':>9} {'Δ spdup':>8}")
+    lines = [header, "-" * len(header)]
+    warnings: list[str] = []
+    for label in list(old_pts) + [l for l in new_pts if l not in old_pts]:
+        old = old_pts.get(label)
+        new = new_pts.get(label)
+        if old is None or new is None:
+            side = "new" if old is None else "old"
+            lines.append(f"{label:<26} (only in {side} report)")
+            continue
+        of = old.get("results", {}).get("fast", {}).get("wall_s")
+        nf = new.get("results", {}).get("fast", {}).get("wall_s")
+        os_ = old.get("speedup")
+        ns = new.get("speedup")
+        row = f"{label:<26} "
+        row += f"{of:>9.3f}" if of is not None else f"{'-':>9}"
+        row += f" {nf:>9.3f}" if nf is not None else f" {'-':>9}"
+        row += f" {os_:>9.2f}" if os_ is not None else f" {'-':>9}"
+        row += f" {ns:>9.2f}" if ns is not None else f" {'-':>9}"
+        if os_ is not None and ns is not None:
+            row += f" {ns - os_:>+8.2f}"
+        else:
+            row += f" {'-':>8}"
+        lines.append(row)
+        for q in modeled_diffs(old, new):
+            warnings.append(
+                f"{label}: modeled quantity {q} differs between reports "
+                "— the change altered simulation semantics, not just speed"
+            )
+    return "\n".join(lines), warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_simperf.json reports "
+                    "(see docs/performance.md).",
+    )
+    parser.add_argument("old", help="baseline report (e.g. the committed one)")
+    parser.add_argument("new", help="candidate report")
+    args = parser.parse_args(argv)
+    table, warnings = compare(args.old, args.new)
+    print(table)
+    for w in warnings:
+        print(f"WARNING: {w}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
