@@ -1,12 +1,12 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test doctest lint docs-check bench bench-quick bench-diff \
-	figures clean
+.PHONY: install test doctest lint docs-check validate-configs bench \
+	bench-quick bench-diff figures clean
 
 install:
 	python setup.py develop
 
-test: docs-check lint
+test: docs-check lint validate-configs
 	pytest tests/
 
 # Simulation-correctness static analyzer (see docs/static-analysis.md).
@@ -19,7 +19,12 @@ lint:
 doctest:
 	PYTHONPATH=src python -m pytest --doctest-modules -q \
 		src/repro/simmpi/engine.py src/repro/core/framework.py \
-		src/repro/obs/metrics.py
+		src/repro/obs/metrics.py src/repro/experiments/spec/loader.py
+
+# The shipped YAML experiment specs must load clean
+# (see docs/configuration.md).
+validate-configs:
+	PYTHONPATH=src python -m repro.cli validate-config configs
 
 # Every intra-repo Markdown link in README.md and docs/ must resolve.
 docs-check:

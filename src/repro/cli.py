@@ -211,6 +211,104 @@ def cmd_lint(args) -> int:
     return run_from_args(args)
 
 
+def cmd_run(args) -> int:
+    import json
+    import os
+
+    from repro.experiments.spec import SpecError, compile_tasks, load_spec
+    from repro.experiments.sweep import (
+        describe_cache,
+        format_table,
+        run_sweep,
+    )
+
+    try:
+        spec, warnings = load_spec(args.config)
+    except SpecError as exc:
+        for issue in exc.issues:
+            print(issue.format(), file=sys.stderr)
+        return 2
+    for issue in warnings:
+        print(issue.format(), file=sys.stderr)
+    # cache-root precedence: --cache-dir beats the config's cache.dir
+    # beats $REPRO_CACHE_DIR beats the .repro-cache/ default
+    if args.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    elif spec.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = spec.cache_dir
+    try:
+        tasks = compile_tasks(spec, quick=args.quick)
+    except ValueError as exc:
+        print(f"{args.config}: {exc}", file=sys.stderr)
+        return 2
+    print(describe_cache(), file=sys.stderr, flush=True)
+    report = run_sweep(
+        jobs=args.jobs, quick=args.quick, tasks=tasks,
+        progress=(None if args.json else
+                  lambda row: print(
+                      f"  {row['label']} "
+                      f"[{'cache' if row['cached'] else 'run'}] "
+                      f"{row['wall_s']:.3f}s", flush=True)),
+    )
+    report["config"] = args.config
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_table(report))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _config_files(paths: list[str]) -> list:
+    from pathlib import Path
+
+    files = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(q for q in p.rglob("*.y*ml")
+                                if q.suffix in (".yaml", ".yml")))
+        else:
+            files.append(p)
+    return files
+
+
+def cmd_validate_config(args) -> int:
+    from repro.experiments.spec import ERROR, check_path, compile_tasks
+
+    files = _config_files(args.paths)
+    if not files:
+        print("no config files found", file=sys.stderr)
+        return 2
+    failed = 0
+    for path in files:
+        spec, issues = check_path(path)
+        for issue in issues:
+            if issue.severity == ERROR or not args.quiet:
+                print(issue.format(), file=sys.stderr)
+        errors = sum(1 for i in issues if i.severity == ERROR)
+        warnings = len(issues) - errors
+        bad = errors or (args.strict and warnings)
+        failed += bool(bad)
+        status = "FAIL" if bad else "ok"
+        detail = ""
+        if spec is not None:
+            n_tasks = len(compile_tasks(spec))
+            n_quick = (len(compile_tasks(spec, quick=True))
+                       if spec.quick is not None else 0)
+            detail = f", {n_tasks} tasks" + \
+                     (f" (+{n_quick} quick)" if n_quick else "")
+        print(f"{path}: {status} ({errors} error(s), "
+              f"{warnings} warning(s){detail})")
+    print(f"validated {len(files)} config(s): "
+          f"{'OK' if not failed else f'{failed} failed'}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +410,51 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.experiments.sweep import add_arguments as _add_sweep_arguments
     _add_sweep_arguments(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "run",
+        help="run a declarative YAML experiment config",
+        description=("Load a schema-validated YAML spec (machines, grids, "
+                     "solver options — see docs/configuration.md), lower "
+                     "it to sweep tasks, and execute it through the "
+                     "parallel executor and the content-addressed result "
+                     "cache.  The canonicalized config is the cache key: "
+                     "a config naming the constructor defaults shares "
+                     "cache entries with `repro sweep` bit for bit."),
+    )
+    p.add_argument("config", help="path to the YAML spec "
+                                  "(e.g. configs/paper.yaml)")
+    p.add_argument("--quick", action="store_true",
+                   help="run the config's quick: grid (validation-scale "
+                        "monitored DES) instead of experiment:")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the report JSON to a file")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="cache root (beats the config's cache.dir and "
+                        "$REPRO_CACHE_DIR; 'off' disables)")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "validate-config",
+        help="schema-check YAML experiment configs",
+        description=("Validate config files (or every *.yaml under a "
+                     "directory) against the spec schema: field-level "
+                     "errors with file:line context, plus lint-style "
+                     "warnings for suspicious values (non-square IMe "
+                     "rank counts, caps above TDP, ...).  Exit 0 when "
+                     "every file loads clean."),
+    )
+    p.add_argument("paths", nargs="+",
+                   help="config files or directories to validate")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures")
+    p.add_argument("--quiet", action="store_true",
+                   help="print errors only, not warnings")
+    p.set_defaults(fn=cmd_validate_config)
 
     p = sub.add_parser(
         "lint",

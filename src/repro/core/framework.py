@@ -42,10 +42,13 @@ def _ime_solver(ctx, comm, system=None, **kwargs):
     return result
 
 
-def _scalapack_solver(ctx, comm, system=None, nb: int = 8, **kwargs):
+def _scalapack_solver(ctx, comm, system=None, nb: int = 8, options=None,
+                      **kwargs):
     sys_arg = system if comm.rank == 0 else None
     result = yield from pdgesv_program(
-        ctx, comm, system=sys_arg, options=ScalapackOptions(nb=nb), **kwargs
+        ctx, comm, system=sys_arg,
+        options=options if options is not None else ScalapackOptions(nb=nb),
+        **kwargs
     )
     return result
 

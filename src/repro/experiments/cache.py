@@ -47,6 +47,18 @@ def canonical_json(obj) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
+def calibration_fingerprint(calib: Calibration) -> str:
+    """Hash of the calibration constants alone (no machine).
+
+    ``repro sweep``/``repro run`` print this at startup so warm-vs-cold
+    behaviour is diagnosable from logs: two runs with different
+    calibration fingerprints can never share cache entries.
+    """
+    payload = {"schema": ENTRY_SCHEMA,
+               "calibration": dataclasses.asdict(calib)}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
 def model_fingerprint(calib: Calibration, machine: MachineSpec) -> str:
     """Hash of every model input the analytic evaluator depends on.
 

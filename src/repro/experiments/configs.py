@@ -62,6 +62,7 @@ class EvaluationGrid:
             for n in self.matrix_sizes:
                 for ranks in self.ranks:
                     for shape in self.shapes:
+                        # repro: allow[CFG001] -- the canonical constructor
                         yield Configuration(algorithm, n, ranks, shape)
 
     def __len__(self) -> int:

@@ -1,0 +1,57 @@
+"""Declarative YAML experiment & hardware configs (ROADMAP item 4).
+
+Public surface of the spec subsystem:
+
+* :func:`load_spec` / :func:`load_text` — parse + validate into a
+  :class:`RunSpec` (raising :class:`SpecError` with every field-level
+  issue), returning lint-style warnings alongside;
+* :func:`check_path` / :func:`check_text` — the non-raising variants
+  ``repro validate-config`` drives;
+* :func:`compile_tasks` — lower a spec to the exact
+  :class:`~repro.experiments.sweep.SweepTask` tuples of the
+  constructor-driven path (bit-identical results, shared cache entries);
+* :func:`dump_spec` — canonical round-tripping text.
+
+See docs/configuration.md for the full schema reference.
+"""
+
+from repro.experiments.spec.schema import ERROR, WARNING, Issue, SpecError
+from repro.experiments.spec.loader import (
+    ALGORITHMS,
+    BUILTIN_MACHINES,
+    GridSpec,
+    MODES,
+    ObsSpec,
+    RunSpec,
+    SCHEMA_VERSION,
+    SOLVER_OPTION_TYPES,
+    SolversSpec,
+    check_path,
+    check_text,
+    compile_tasks,
+    dump_spec,
+    load_spec,
+    load_text,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BUILTIN_MACHINES",
+    "ERROR",
+    "GridSpec",
+    "Issue",
+    "MODES",
+    "ObsSpec",
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "SOLVER_OPTION_TYPES",
+    "SolversSpec",
+    "SpecError",
+    "WARNING",
+    "check_path",
+    "check_text",
+    "compile_tasks",
+    "dump_spec",
+    "load_spec",
+    "load_text",
+]

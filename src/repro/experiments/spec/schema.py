@@ -1,0 +1,178 @@
+"""Schema plumbing for the config loader: issues, field paths, and typed
+extraction from the line-tracked parse tree.
+
+Every problem found while loading a config becomes an :class:`Issue`
+pinned to a dotted **field path** (``experiment.ranks[1]``) and the
+1-based source line of the offending node — the format both
+``repro validate-config`` and :class:`SpecError` print.  Errors are
+collected, not raised one at a time, so a broken file reports all of
+its problems in one pass; warnings are lint-style advisories
+(suspicious but loadable values) that never affect the exit status
+unless ``--strict`` asks them to.
+
+:class:`Walker` is the extraction helper the loader drives: it type-
+checks one mapping key at a time (``walk.get(node, "ranks", int)``),
+records an error and returns the default on mismatch, and rejects
+unknown keys against each section's declared vocabulary — the property
+that makes typos loud instead of silently ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.spec.yamlread import Node
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding against a config file."""
+
+    severity: str          # ERROR | WARNING
+    path: str              # source file (or "<config>")
+    line: int              # 1-based source line
+    field: str             # dotted field path, e.g. "experiment.ranks[1]"
+    message: str
+
+    def format(self) -> str:
+        where = f"{self.path}:{self.line}"
+        field = f" {self.field}:" if self.field else ""
+        return f"{where}: {self.severity}:{field} {self.message}"
+
+
+class SpecError(ValueError):
+    """Raised by ``load_*`` when a config has schema errors.
+
+    Carries every collected :class:`Issue` (errors *and* warnings) so
+    callers can render the full report, not just the first failure.
+    """
+
+    def __init__(self, issues: list[Issue]):
+        self.issues = issues
+        errors = [i for i in issues if i.severity == ERROR]
+        head = errors[0] if errors else issues[0]
+        more = len(errors) - 1
+        suffix = f" (+{more} more)" if more > 0 else ""
+        super().__init__(head.format() + suffix)
+
+
+#: scalar type → name shown in error messages
+_TYPE_NAMES = {int: "integer", float: "number", str: "string",
+               bool: "boolean", list: "list", dict: "mapping"}
+
+
+def type_name(type_) -> str:
+    if isinstance(type_, tuple):
+        return " or ".join(_TYPE_NAMES.get(t, t.__name__) for t in type_)
+    return _TYPE_NAMES.get(type_, type_.__name__)
+
+
+def _coerces(value, type_) -> bool:
+    if type_ is float:
+        # ints are acceptable floats (repetitions: 10 vs freq: 2.1e9)
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_ is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, type_)
+
+
+class Walker:
+    """Typed extraction over the Node tree, accumulating issues."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.issues: list[Issue] = []
+
+    # ------------------------------------------------------------- issues
+    def error(self, line: int, field: str, message: str) -> None:
+        self.issues.append(Issue(ERROR, self.path, line, field, message))
+
+    def warn(self, line: int, field: str, message: str) -> None:
+        self.issues.append(Issue(WARNING, self.path, line, field, message))
+
+    @property
+    def errors(self) -> list[Issue]:
+        return [i for i in self.issues if i.severity == ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    # --------------------------------------------------------- extraction
+    def mapping(self, node: Node, field: str) -> dict[str, Node]:
+        """The node as a mapping, or ``{}`` (with an error) otherwise."""
+        if isinstance(node.value, dict):
+            return node.value
+        self.error(node.line, field,
+                   f"expected a mapping, got {describe(node.value)}")
+        return {}
+
+    def check_keys(self, mapping: dict[str, Node], field: str,
+                   allowed) -> None:
+        """Reject keys outside ``allowed`` (typos fail loudly)."""
+        for key, child in mapping.items():
+            if key not in allowed:
+                self.error(
+                    child.line, f"{field}.{key}" if field else key,
+                    f"unknown key {key!r}; expected one of "
+                    f"{', '.join(sorted(allowed))}")
+
+    def get(self, mapping: dict[str, Node], key: str, type_, field: str,
+            default=None, required: bool = False, line: int = 1):
+        """One typed scalar from a mapping (default on absence/mismatch)."""
+        node = mapping.get(key)
+        where = f"{field}.{key}" if field else key
+        if node is None:
+            if required:
+                self.error(line, where, "required key is missing")
+            return default
+        value = node.value
+        if type_ is float and _coerces(value, float):
+            return float(value)
+        if not _coerces(value, type_):
+            self.error(node.line, where,
+                       f"expected {type_name(type_)}, "
+                       f"got {describe(value)}")
+            return default
+        return value
+
+    def scalar_list(self, mapping: dict[str, Node], key: str, type_,
+                    field: str, default=None):
+        """A list of typed scalars → tuple (default on absence)."""
+        node = mapping.get(key)
+        where = f"{field}.{key}" if field else key
+        if node is None:
+            return default
+        if not isinstance(node.value, list):
+            self.error(node.line, where,
+                       f"expected a list, got {describe(node.value)}")
+            return default
+        out = []
+        for i, item in enumerate(node.value):
+            raw = item.value if isinstance(item, Node) else item
+            line = item.line if isinstance(item, Node) else node.line
+            if type_ is float and _coerces(raw, float):
+                out.append(float(raw))
+            elif _coerces(raw, type_):
+                out.append(raw)
+            else:
+                self.error(line, f"{where}[{i}]",
+                           f"expected {type_name(type_)}, "
+                           f"got {describe(raw)}")
+        return tuple(out)
+
+
+def describe(value) -> str:
+    """A value as it reads in an error message."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return f"boolean {str(value).lower()}"
+    if isinstance(value, dict):
+        return "a mapping"
+    if isinstance(value, list):
+        return "a list"
+    return repr(value)

@@ -1,0 +1,287 @@
+"""A vendored, line-tracking parser for the strict YAML subset of the
+config format.
+
+The repository deliberately does **not** depend on PyYAML: the config
+files are the wire format of the sweep cache (the cache address is the
+canonicalized config), so the accepted grammar must be small, stable,
+and deterministic.  The subset is:
+
+* nested **mappings** by 2-space-step indentation (``key: value`` /
+  ``key:`` followed by an indented block);
+* **block lists** of scalar items (``- value``) and **inline lists**
+  (``[a, b]``, nestable: ``[[288, 4], [432, 8]]``);
+* **scalars**: ``null``/``~``, ``true``/``false``, integers, floats
+  (including ``2.1e9``), and single/double-quoted or bare strings;
+* ``#`` comments (full-line, or trailing after whitespace);
+* duplicate keys and tab indentation are hard errors.
+
+Every parsed value is wrapped in a :class:`Node` carrying its 1-based
+source line, so the schema layer can report *where* a bad field lives.
+``dump`` is the inverse: it emits canonical text (2-space indents,
+inline lists, ``repr``-exact floats) that ``parse`` maps back to the
+same plain values — the round-trip the spec loader's ``load(dump(s)) ==
+s`` guarantee is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+INDENT_STEP = 2
+
+
+class YamlError(ValueError):
+    """A parse failure, carrying the offending 1-based line number."""
+
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+        self.message = message
+
+
+@dataclass
+class Node:
+    """One parsed value plus where it came from.
+
+    ``value`` is a scalar, a ``dict[str, Node]``, or a ``list[Node]``.
+    """
+
+    value: Any
+    line: int
+
+    def plain(self):
+        """Strip the Node wrappers back to plain Python data."""
+        if isinstance(self.value, dict):
+            return {k: v.plain() for k, v in self.value.items()}
+        if isinstance(self.value, list):
+            # block-list items are Nodes; inline-list items are plain
+            return [v.plain() if isinstance(v, Node) else v
+                    for v in self.value]
+        return self.value
+
+
+# ---------------------------------------------------------------- scanning
+
+def _strip_comment(raw: str, lineno: int) -> str:
+    """Drop a trailing ``#`` comment, honouring quoted strings."""
+    quote = None
+    for i, ch in enumerate(raw):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#" and (i == 0 or raw[i - 1] in " \t"):
+            return raw[:i]
+    if quote:
+        raise YamlError(lineno, f"unterminated {quote} quote")
+    return raw
+
+
+@dataclass
+class _Line:
+    number: int
+    indent: int
+    text: str  # content, comment-stripped, right-stripped
+
+
+def _scan(text: str) -> list[_Line]:
+    lines = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        content = _strip_comment(raw, number).rstrip()
+        if not content.strip():
+            continue
+        stripped = content.lstrip(" ")
+        indent = len(content) - len(stripped)
+        if stripped.startswith("\t") or "\t" in content[:indent + 1]:
+            raise YamlError(number, "tab indentation is not allowed")
+        lines.append(_Line(number, indent, stripped))
+    return lines
+
+
+# ----------------------------------------------------------------- scalars
+
+_BARE_KEY_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-"
+)
+
+
+def parse_scalar(token: str, lineno: int):
+    """One scalar (or inline list) token → Python value."""
+    token = token.strip()
+    if token.startswith("["):
+        return _parse_inline_list(token, lineno)
+    if token.startswith(("'", '"')):
+        if len(token) < 2 or token[-1] != token[0]:
+            raise YamlError(lineno, f"unterminated quoted string: {token}")
+        return token[1:-1]
+    if token in ("null", "~", "Null", "NULL"):
+        return None
+    if token in ("true", "True", "TRUE"):
+        return True
+    if token in ("false", "False", "FALSE"):
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if token.startswith(("{", "&", "*", "|", ">", "%", "@")):
+        raise YamlError(lineno, f"unsupported YAML syntax: {token!r}")
+    return token
+
+
+def _split_inline(body: str, lineno: int) -> list[str]:
+    """Split an inline-list body on top-level commas."""
+    items, depth, quote, start = [], 0, None, 0
+    for i, ch in enumerate(body):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise YamlError(lineno, "unbalanced ']' in inline list")
+        elif ch == "," and depth == 0:
+            items.append(body[start:i])
+            start = i + 1
+    if quote or depth:
+        raise YamlError(lineno, "unterminated inline list")
+    items.append(body[start:])
+    return items
+
+
+def _parse_inline_list(token: str, lineno: int) -> list:
+    if not token.endswith("]"):
+        raise YamlError(lineno, f"unterminated inline list: {token}")
+    body = token[1:-1].strip()
+    if not body:
+        return []
+    return [parse_scalar(item, lineno)
+            for item in _split_inline(body, lineno)]
+
+
+# ------------------------------------------------------------------ blocks
+
+def _parse_block(lines: list[_Line], pos: int, indent: int) -> tuple[Node, int]:
+    """Parse the block starting at ``lines[pos]`` (all at ``indent``)."""
+    first = lines[pos]
+    if first.text.startswith("- "):
+        return _parse_list(lines, pos, indent)
+    return _parse_mapping(lines, pos, indent)
+
+
+def _parse_list(lines: list[_Line], pos: int, indent: int) -> tuple[Node, int]:
+    items: list[Node] = []
+    start_line = lines[pos].number
+    while pos < len(lines) and lines[pos].indent == indent \
+            and lines[pos].text.startswith("- "):
+        line = lines[pos]
+        items.append(Node(parse_scalar(line.text[2:], line.number),
+                          line.number))
+        pos += 1
+    if pos < len(lines) and lines[pos].indent > indent:
+        raise YamlError(lines[pos].number,
+                        "nested blocks under '-' items are not supported; "
+                        "use an inline list or a mapping")
+    return Node(items, start_line), pos
+
+
+def _parse_mapping(lines: list[_Line], pos: int,
+                   indent: int) -> tuple[Node, int]:
+    mapping: dict[str, Node] = {}
+    start_line = lines[pos].number
+    while pos < len(lines):
+        line = lines[pos]
+        if line.indent < indent:
+            break
+        if line.indent > indent:
+            raise YamlError(line.number,
+                            f"unexpected indent ({line.indent} spaces, "
+                            f"expected {indent})")
+        if line.text.startswith("- "):
+            raise YamlError(line.number,
+                            "list item in a mapping block")
+        key, sep, rest = line.text.partition(":")
+        key = key.strip()
+        if not sep:
+            raise YamlError(line.number, f"expected 'key: value': {line.text!r}")
+        if key.startswith(("'", '"')):
+            key = key[1:-1] if len(key) >= 2 and key[-1] == key[0] else key
+        elif not key or not set(key) <= _BARE_KEY_OK:
+            raise YamlError(line.number, f"invalid mapping key: {key!r}")
+        if key in mapping:
+            raise YamlError(line.number, f"duplicate key {key!r}")
+        rest = rest.strip()
+        pos += 1
+        if rest:
+            mapping[key] = Node(parse_scalar(rest, line.number), line.number)
+        elif pos < len(lines) and lines[pos].indent > indent:
+            child, pos = _parse_block(lines, pos, lines[pos].indent)
+            mapping[key] = child
+        else:
+            mapping[key] = Node(None, line.number)
+    return Node(mapping, start_line), pos
+
+
+def parse(text: str) -> Node:
+    """Parse a document into a root mapping :class:`Node`."""
+    lines = _scan(text)
+    if not lines:
+        return Node({}, 1)
+    if lines[0].indent != 0:
+        raise YamlError(lines[0].number, "top level must not be indented")
+    root, pos = _parse_block(lines, 0, 0)
+    if pos != len(lines):
+        raise YamlError(lines[pos].number,
+                        f"unexpected dedent/content: {lines[pos].text!r}")
+    if not isinstance(root.value, dict):
+        raise YamlError(lines[0].number, "top level must be a mapping")
+    return root
+
+
+# ----------------------------------------------------------------- dumping
+
+_BARE_STRING_OK = _BARE_KEY_OK | set("/+ ")
+
+
+def _dump_scalar(value) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_dump_scalar(v) for v in value) + "]"
+    s = str(value)
+    if (s and set(s) <= _BARE_STRING_OK and not s.startswith(("-", " "))
+            and not s.endswith(" ")
+            and parse_scalar(s, 0) == s):
+        return s
+    return '"' + s.replace('"', "'") + '"'
+
+
+def dump(data: dict, indent: int = 0) -> str:
+    """Canonical text for nested dict/list/scalar data (insertion order)."""
+    lines: list[str] = []
+    pad = " " * indent
+    for key, value in data.items():
+        if isinstance(value, dict):
+            if not value:
+                continue
+            lines.append(f"{pad}{key}:")
+            lines.append(dump(value, indent + INDENT_STEP))
+        else:
+            lines.append(f"{pad}{key}: {_dump_scalar(value)}")
+    return "\n".join(lines)

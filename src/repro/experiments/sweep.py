@@ -42,7 +42,13 @@ QUICK_REPETITIONS = 3
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One unit of sweep work (picklable, deterministic)."""
+    """One unit of sweep work (picklable, deterministic).
+
+    The trailing optional fields are the declarative-config extensions
+    (``repro run``); their defaults reproduce the constructor-driven
+    paths byte-for-byte — ``_task_config`` only emits the extra cache-key
+    entries when they deviate, so legacy cache addresses are preserved.
+    """
 
     mode: str  # "analytic" (paper scale) | "monitored" (validation DES)
     algorithm: str
@@ -51,11 +57,23 @@ class SweepTask:
     shape_value: str
     repetitions: int
     seed: int = 0
+    #: explicit machine; None = the mode's builtin default (Marconi A3
+    #: for analytic, the per-task validation machine for monitored)
+    machine: object = None
+    #: package power cap in watts (analytic mode only; None = uncapped)
+    power_cap_w: float | None = None
+    #: canonical non-default solver-option fields, e.g. (("nb", 16),)
+    #: — monitored mode only, part of the cache key when non-empty
+    solver_options: tuple = ()
+    #: write per-repetition Chrome traces here (observer only: results
+    #: and cache addresses are unaffected; traces need a cold run)
+    trace_dir: str | None = None
 
     @property
     def label(self) -> str:
+        cap = f"-cap{self.power_cap_w:g}" if self.power_cap_w else ""
         return (f"{self.algorithm}-n{self.n}-p{self.ranks}"
-                f"-{self.shape_value}")
+                f"-{self.shape_value}{cap}")
 
 
 def paper_tasks() -> list[SweepTask]:
@@ -63,7 +81,7 @@ def paper_tasks() -> list[SweepTask]:
     return [
         SweepTask("analytic", c.algorithm, c.n, c.ranks, c.shape.value,
                   PAPER_REPETITIONS)
-        for c in EvaluationGrid()
+        for c in EvaluationGrid()  # repro: allow[CFG001] -- canonical path
     ]
 
 
@@ -80,14 +98,22 @@ def quick_tasks() -> list[SweepTask]:
 def _task_machine(task: SweepTask):
     from repro.cluster.machine import marconi_a3, small_test_machine
 
+    if task.machine is not None:
+        return task.machine
     if task.mode == "analytic":
         return marconi_a3()
     return small_test_machine(cores_per_socket=max(1, task.ranks // 2))
 
 
 def _task_config(task: SweepTask) -> dict:
-    """The cache key for one task (model inputs live in the fingerprint)."""
-    return {
+    """The cache key for one task (model inputs live in the fingerprint).
+
+    The config-driven extensions append keys **only when set**, so every
+    constructor-era task keeps its historical cache address; a custom
+    machine is covered by the model fingerprint, and ``trace_dir`` is a
+    pure observer that must not (and does not) move the address.
+    """
+    config = {
         "mode": task.mode,
         "algorithm": task.algorithm,
         "n": task.n,
@@ -96,6 +122,25 @@ def _task_config(task: SweepTask) -> dict:
         "repetitions": task.repetitions,
         "seed": task.seed,
     }
+    if task.power_cap_w is not None:
+        config["power_cap_w"] = task.power_cap_w
+    if task.solver_options:
+        config["solver_options"] = {k: v for k, v in task.solver_options}
+    return config
+
+
+def _task_solver_kwargs(task: SweepTask) -> dict:
+    """Monitored-mode solver options → the framework's solver_kwargs."""
+    if not task.solver_options:
+        return {}
+    fields = dict(task.solver_options)
+    if task.algorithm == "ime":
+        from repro.solvers.ime.parallel import ImeOptions
+
+        return {"options": ImeOptions(**fields)}
+    from repro.solvers.scalapack.pdgesv import ScalapackOptions
+
+    return {"options": ScalapackOptions(**fields)}
 
 
 def _compute_task(task: SweepTask):
@@ -107,13 +152,36 @@ def _compute_task(task: SweepTask):
     if task.mode == "analytic":
         return run_analytic(task.algorithm, task.n, task.ranks, shape,
                             machine, repetitions=task.repetitions,
-                            base_seed=task.seed)
+                            base_seed=task.seed,
+                            power_cap_w=task.power_cap_w)
     from repro.workloads.generator import generate_system
 
-    return run_monitored(task.algorithm,
-                         generate_system(task.n, seed=task.seed),
-                         task.ranks, shape, machine,
-                         repetitions=task.repetitions)
+    tracer_factory, tracers = None, []
+    if task.trace_dir is not None:
+        from repro.obs import SpanTracer
+
+        def tracer_factory():
+            tracers.append(SpanTracer())
+            return tracers[-1]
+
+    solver_kwargs = _task_solver_kwargs(task)
+    result = run_monitored(task.algorithm,
+                           generate_system(task.n, seed=task.seed),
+                           task.ranks, shape, machine,
+                           repetitions=task.repetitions,
+                           tracer_factory=tracer_factory,
+                           **({"solver_kwargs": solver_kwargs}
+                              if solver_kwargs else {}))
+    if tracers:
+        from pathlib import Path
+
+        from repro.obs import write_chrome_trace
+
+        out = Path(task.trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for rep, tracer in enumerate(tracers):
+            write_chrome_trace(tracer, out / f"{task.label}-rep{rep}.json")
+    return result
 
 
 def run_task(task: SweepTask) -> dict:
@@ -209,6 +277,27 @@ def format_table(report: dict) -> str:
     return "\n".join(lines)
 
 
+def describe_cache() -> str:
+    """One startup log line: resolved cache root + calibration hash.
+
+    Both ``repro sweep`` and ``repro run`` print this before the first
+    task so warm-vs-cold behaviour is diagnosable from logs alone.
+    """
+    from repro.experiments.cache import (
+        calibration_fingerprint,
+        default_result_cache,
+    )
+    from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+
+    fingerprint = calibration_fingerprint(DEFAULT_CALIBRATION)
+    cache = default_result_cache()
+    if cache is None:
+        return (f"cache: disabled ($REPRO_CACHE_DIR) "
+                f"[calibration {fingerprint[:12]}]")
+    return (f"cache: {cache.root.resolve()} "
+            f"[calibration {fingerprint[:12]}]")
+
+
 def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (default 1 = in-process)")
@@ -225,10 +314,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run_from_args(args) -> int:
+    import sys
+
     if args.cache_dir is not None:
         import os
 
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    print(describe_cache(), file=sys.stderr, flush=True)
     report = run_sweep(
         jobs=args.jobs, quick=args.quick,
         progress=(None if args.json else

@@ -1,0 +1,74 @@
+"""CFG001 — inline machine/grid construction in the experiments layer.
+
+The declarative-config subsystem (:mod:`repro.experiments.spec`, see
+docs/configuration.md) makes machines and evaluation grids *data*: a
+YAML file whose canonical form is the sweep cache key.  Code under
+``experiments/`` that calls ``MachineSpec(...)``, ``EvaluationGrid(...)``
+or ``Configuration(...)`` directly bypasses that — the resulting grid
+has no config file, no schema validation, and no stable cache identity,
+which is exactly the drift the spec loader exists to prevent.
+
+The rule is scoped to ``experiments/`` modules (cluster presets and
+tests construct specs legitimately) and fires on any call whose callee
+resolves, through the import map, to one of the config-owned
+constructors.  The canonical constructor path itself — the
+``EvaluationGrid``/``Configuration`` definitions that the YAML specs are
+asserted bit-identical against — carries ``# repro: allow[CFG001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import ModuleInfo
+
+RULE = "CFG001"
+
+#: canonical dotted names of the config-owned constructors
+CONFIG_OWNED = frozenset({
+    "repro.cluster.machine.MachineSpec",
+    "repro.experiments.configs.EvaluationGrid",
+    "repro.experiments.configs.Configuration",
+})
+
+#: the rule applies only to the experiments layer
+_SCOPE = "experiments/"
+
+
+def _in_scope(path: str) -> bool:
+    return _SCOPE in path.replace("\\", "/")
+
+
+def check(module: ModuleInfo) -> list[Finding]:
+    if not _in_scope(module.path):
+        return []
+    # Local class definitions count as canonical: configs.py itself may
+    # reference the classes it defines without an import edge.
+    local = {
+        node.name: f"repro.experiments.configs.{node.name}"
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ClassDef)
+        and f"repro.experiments.configs.{node.name}" in CONFIG_OWNED
+    }
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = module.canonical(node.func)
+        if name is None and isinstance(node.func, ast.Name):
+            name = local.get(node.func.id)
+        if name not in CONFIG_OWNED:
+            continue
+        short = name.rsplit(".", 1)[1]
+        findings.append(Finding(
+            path=module.path, line=node.lineno,
+            col=node.col_offset + 1, rule=RULE,
+            message=(f"inline {short}(...) in the experiments layer — "
+                     "machines and grids are declarative now; load them "
+                     "through repro.experiments.spec (see "
+                     "docs/configuration.md) or mark the canonical "
+                     "constructor with `# repro: allow[CFG001]`"),
+            text=module.line_text(node.lineno),
+        ))
+    return findings

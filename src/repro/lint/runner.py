@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.lint import (
+    rules_cfg,
     rules_det,
     rules_fast,
     rules_mpi,
@@ -37,6 +38,7 @@ ALL_RULES = (
     "MPI003",   # PAPI start/stop not barrier-fenced in a rank program
     "OBS001",   # span opened but never closed / never entered
     "PERF001",  # per-level np.outer trailing update in a rank program
+    "CFG001",   # inline machine/grid construction in experiments/
     "E999",     # file does not parse
 )
 
@@ -89,6 +91,7 @@ def _lint_module(module: ModuleInfo, simcall_names: frozenset[str],
     findings.extend(rules_mpi.check(module))
     findings.extend(rules_obs.check(module))
     findings.extend(rules_perf.check(module))
+    findings.extend(rules_cfg.check(module))
     findings = _selected(findings, options)
     suppressions = collect_suppressions(module.source)
     return [

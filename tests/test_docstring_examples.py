@@ -9,6 +9,7 @@ import doctest
 import pytest
 
 import repro.core.framework
+import repro.experiments.spec.loader
 import repro.obs.metrics
 import repro.simmpi.engine
 
@@ -17,6 +18,7 @@ import repro.simmpi.engine
     repro.simmpi.engine,
     repro.core.framework,
     repro.obs.metrics,
+    repro.experiments.spec.loader,
 ], ids=lambda m: m.__name__)
 def test_docstring_examples(module):
     results = doctest.testmod(module, verbose=False)

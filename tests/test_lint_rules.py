@@ -440,6 +440,65 @@ class TestPerf001:
         assert findings == []
 
 
+# --------------------------------------------------------------- CFG001
+class TestCfg001:
+    IN_SCOPE = "src/repro/experiments/snippet.py"
+
+    def lint_at(self, snippet: str, path: str):
+        return lint_source(textwrap.dedent(snippet), path=path)
+
+    def test_bad_inline_grid_in_experiments(self):
+        findings = self.lint_at("""
+            from repro.experiments.configs import EvaluationGrid
+
+            def tasks():
+                return list(EvaluationGrid(ranks=(4,)))
+        """, self.IN_SCOPE)
+        assert rules_of(findings) == ["CFG001"]
+        assert "repro.experiments.spec" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_bad_inline_machine_via_module_attr(self):
+        findings = self.lint_at("""
+            from repro.cluster import machine
+
+            def custom():
+                return machine.MachineSpec(name="adhoc")
+        """, self.IN_SCOPE)
+        assert rules_of(findings) == ["CFG001"]
+        assert "MachineSpec" in findings[0].message
+
+    def test_good_spec_loader_path(self):
+        # Loading through the declarative subsystem is the blessed route.
+        findings = self.lint_at("""
+            from repro.experiments.spec import load_spec, compile_tasks
+
+            def tasks(path):
+                return compile_tasks(load_spec(path))
+        """, self.IN_SCOPE)
+        assert findings == []
+
+    def test_good_outside_experiments_scope(self):
+        # Cluster presets and tests construct machines legitimately.
+        findings = self.lint_at("""
+            from repro.cluster.machine import MachineSpec
+
+            def preset():
+                return MachineSpec(name="small")
+        """, "src/repro/cluster/presets.py")
+        assert findings == []
+
+    def test_suppressed_canonical_constructor(self):
+        findings = self.lint_at("""
+            from repro.experiments.configs import EvaluationGrid
+
+            def paper_tasks():
+                # repro: allow[CFG001] -- canonical constructor path
+                return list(EvaluationGrid())
+        """, self.IN_SCOPE)
+        assert findings == []
+
+
 # --------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_inline_allow(self):
