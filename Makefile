@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test doctest lint docs-check validate-configs bench \
-	bench-quick bench-diff figures clean
+	bench-quick bench-paper bench-diff figures clean
 
 install:
 	python setup.py develop
@@ -39,6 +39,12 @@ bench:
 # regresses >2x against the committed baseline.
 bench-quick:
 	PYTHONPATH=src python tools/bench_sim.py --quick --check
+
+# Paper-scale exact-skeleton points (n = 34560 at the paper's rank
+# counts on Marconi A3) under the same 2x regression guard; merges the
+# points into BENCH_simperf.json without touching the others.
+bench-paper:
+	PYTHONPATH=src python tools/bench_sim.py --skeleton --check --write
 
 # Per-point speedup deltas of the working-tree BENCH_simperf.json
 # against the committed (HEAD) one.

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import resource
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.cluster.machine import small_test_machine
+from repro.cluster.machine import marconi_a3, small_test_machine
 from repro.cluster.placement import LoadShape, place_ranks
 from repro.runtime.job import Job
 from repro.workloads.generator import generate_system
@@ -41,11 +42,13 @@ class BenchPoint:
     """One benchmarked configuration."""
 
     solver: str  # "ime" | "ime-ft" | "scalapack" | "scalapack-skel"
+    #            # | "ime-xskel" | "scalapack-xskel" (exact skeletons)
     n: int
     ranks: int
     nb: int | None = None  # ScaLAPACK block size
     modes: tuple[str, ...] = ("fast", "message")
     quick: bool = False  # part of the bench-quick CI guard
+    machine: str = "small"  # "small" | "marconi" (paper-scale points)
 
     @property
     def label(self) -> str:
@@ -68,6 +71,20 @@ DEFAULT_POINTS: tuple[BenchPoint, ...] = (
     BenchPoint("scalapack", 2160, 16, nb=48, quick=True),
     BenchPoint("scalapack", 4320, 16, nb=48),
     BenchPoint("scalapack-skel", 4320, 16, nb=48),
+)
+
+#: ``repro bench --skeleton``: the paper's largest matrix at Table-1 rank
+#: counts on Marconi A3, through the *exact* skeletons (the full
+#: communication schedule with bitwise-faithful wire sizes and flop
+#: charges — see :mod:`repro.obs.symbolic`).  One machine, one sitting:
+#: these are the points that prove the aggregate closed forms carry the
+#: DES to n = 34560.  Fast mode only — the message-level reference at
+#: this scale is exactly what the closed forms exist to avoid.
+PAPER_SKELETON_POINTS: tuple[BenchPoint, ...] = (
+    BenchPoint("ime-xskel", 34560, 144, modes=("fast",), machine="marconi"),
+    BenchPoint("ime-xskel", 34560, 576, modes=("fast",), machine="marconi"),
+    BenchPoint("scalapack-xskel", 34560, 144, nb=64, modes=("fast",),
+               machine="marconi"),
 )
 
 
@@ -107,6 +124,16 @@ def _make_program(point: BenchPoint, system):
         def program(ctx, comm):
             return (yield from scalapack_skeleton_program(
                 ctx, comm, n=point.n, options=options))
+    elif point.solver in ("ime-xskel", "scalapack-xskel"):
+        from repro.obs.symbolic import (
+            EXACT_SKELETON_PROGRAMS,
+            SymbolicOptions,
+        )
+        fn = EXACT_SKELETON_PROGRAMS[point.solver.rsplit("-", 1)[0]]
+        options = SymbolicOptions(nb=point.nb or 8)
+
+        def program(ctx, comm):
+            return (yield from fn(ctx, comm, n=point.n, options=options))
     else:
         raise ValueError(f"unknown solver: {point.solver}")
     return program
@@ -120,17 +147,25 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0,
     practice — the minimum is the least noise-contaminated estimate of
     the code's speed).  The simulated quantities are deterministic and
     identical across repeats; only the wall clock varies.
+
+    ``maxrss_kb`` records the process peak RSS *after* the point ran —
+    a high-water mark, so per-point deltas in a suite are upper bounds;
+    ``tools/bench_compare.py`` uses them to flag memory regressions.
     """
-    machine = small_test_machine(
-        cores_per_socket=max(1, point.ranks // 2)
-        if point.ranks % 2 == 0 else point.ranks
-    )
-    shape = LoadShape.FULL if point.ranks % 2 == 0 \
-        else LoadShape.HALF_ONE_SOCKET
+    if point.machine == "marconi":
+        machine = marconi_a3()
+        shape = LoadShape.FULL
+    else:
+        machine = small_test_machine(
+            cores_per_socket=max(1, point.ranks // 2)
+            if point.ranks % 2 == 0 else point.ranks
+        )
+        shape = LoadShape.FULL if point.ranks % 2 == 0 \
+            else LoadShape.HALF_ONE_SOCKET
     placement = place_ranks(point.ranks, shape, machine)
     # Skeleton points replay communication structure only — no matrix.
     system = (generate_system(point.n, seed=seed)
-              if not point.solver.endswith("-skel") else None)
+              if "skel" not in point.solver else None)
     wall = None
     for _ in range(max(1, repeats)):
         job = Job(machine, placement)
@@ -149,15 +184,22 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0,
         "messages": result.traffic["messages"],
         "bytes": result.traffic["bytes"],
         "total_energy_j": result.total_energy_j,
+        "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
     }
 
 
 def run_suite(points=None, quick: bool = False,
               modes: tuple[str, ...] | None = None,
-              progress=None, repeats: int = 3) -> dict:
-    """Run the benchmark suite; returns the ``BENCH_simperf.json`` dict."""
+              progress=None, repeats: int = 3,
+              skeleton: bool = False) -> dict:
+    """Run the benchmark suite; returns the ``BENCH_simperf.json`` dict.
+
+    ``skeleton=True`` selects :data:`PAPER_SKELETON_POINTS` (the exact
+    skeletons at the paper's n = 34560 on Marconi A3) instead of
+    :data:`DEFAULT_POINTS`.
+    """
     if points is None:
-        points = DEFAULT_POINTS
+        points = PAPER_SKELETON_POINTS if skeleton else DEFAULT_POINTS
     entries = []
     for point in points:
         if quick and not point.quick:
@@ -174,6 +216,7 @@ def run_suite(points=None, quick: bool = False,
             "ranks": point.ranks,
             "nb": point.nb,
             "quick": point.quick,
+            "machine": point.machine,
             "results": results,
         }
         if "fast" in results and "message" in results:
@@ -208,8 +251,12 @@ def format_table(report: dict) -> str:
 
 def check_regression(current: dict, baseline: dict,
                      factor: float = REGRESSION_FACTOR) -> list[str]:
-    """Compare fast-path wall-clock of quick points against a baseline.
+    """Compare fast-path wall-clock of a report against a baseline.
 
+    Every point of the *current* report that also exists in the
+    baseline is checked (``bench --quick --check`` reports only the
+    quick points, so its guard is unchanged; ``bench --skeleton
+    --check`` guards the paper-scale skeleton points the same way).
     Returns a list of human-readable failures (empty = pass).  Points
     missing from either side are skipped — the guard is about
     regressions, not coverage.
@@ -217,8 +264,6 @@ def check_regression(current: dict, baseline: dict,
     base_by_label = {e["label"]: e for e in baseline.get("points", [])}
     failures = []
     for entry in current.get("points", []):
-        if not entry.get("quick"):
-            continue
         base = base_by_label.get(entry["label"])
         if base is None:
             continue
@@ -238,6 +283,9 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the benchmark options (shared with ``repro bench``)."""
     parser.add_argument("--quick", action="store_true",
                         help="only the small CI-guard points")
+    parser.add_argument("--skeleton", action="store_true",
+                        help="the paper-scale exact-skeleton points "
+                             "(n=34560 on Marconi A3, fast mode only)")
     parser.add_argument("--modes", default=None,
                         help="comma-separated subset of fast,message")
     parser.add_argument("--repeats", type=int, default=3,
@@ -248,7 +296,9 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="print the human-readable table (default)")
     parser.add_argument("--write", metavar="PATH", nargs="?",
                         const=BASELINE_NAME, default=None,
-                        help=f"write the report (default {BASELINE_NAME})")
+                        help=f"write the report (default {BASELINE_NAME}); "
+                             "an existing file is merged by point label, "
+                             "so partial suites update their points only")
     parser.add_argument("--check", action="store_true",
                         help="fail (exit 1) when quick-point fast wall-clock "
                              f"regresses >{REGRESSION_FACTOR:g}x vs the "
@@ -272,18 +322,35 @@ def _default_baseline_path() -> Path:
     return Path(__file__).resolve().parents[2] / BASELINE_NAME
 
 
+def merge_reports(base: dict, new: dict) -> dict:
+    """Merge two reports by point label: ``new`` wins on collisions,
+    ``base``-only points are kept in their original order.  This is how
+    ``--write`` updates the committed baseline from a partial suite
+    (e.g. ``--skeleton``) without dropping the other points."""
+    by_label = {e["label"]: e for e in base.get("points", [])}
+    by_label.update({e["label"]: e for e in new.get("points", [])})
+    merged = dict(new)
+    merged["points"] = list(by_label.values())
+    return merged
+
+
 def run_from_args(args) -> int:
     """Execute a parsed benchmark invocation (CLI entry points share this)."""
     modes = tuple(args.modes.split(",")) if args.modes else None
     report = run_suite(quick=args.quick, modes=modes,
                        progress=lambda msg: print(msg, flush=True),
-                       repeats=getattr(args, "repeats", 3))
+                       repeats=getattr(args, "repeats", 3),
+                       skeleton=getattr(args, "skeleton", False))
     if args.json:
         print(json.dumps(report, indent=2))
     else:
         print(format_table(report))
     if args.write:
-        Path(args.write).write_text(json.dumps(report, indent=2) + "\n")
+        out = Path(args.write)
+        written = report
+        if out.exists():
+            written = merge_reports(json.loads(out.read_text()), report)
+        out.write_text(json.dumps(written, indent=2) + "\n")
         print(f"wrote {args.write}")
     if args.check:
         path = Path(args.baseline) if args.baseline \

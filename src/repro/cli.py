@@ -237,7 +237,8 @@ def cmd_run(args) -> int:
     elif spec.cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = spec.cache_dir
     try:
-        tasks = compile_tasks(spec, quick=args.quick)
+        tasks = compile_tasks(spec, quick=args.quick,
+                              skeleton=args.skeleton)
     except ValueError as exc:
         print(f"{args.config}: {exc}", file=sys.stderr)
         return 2
@@ -427,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="run the config's quick: grid (validation-scale "
                         "monitored DES) instead of experiment:")
+    p.add_argument("--skeleton", action="store_true",
+                   help="run the config's skeleton: grid (exact-skeleton "
+                        "DES at paper scale) instead of experiment:")
     p.add_argument("--jobs", "-j", type=int, default=1,
                    help="worker processes (default 1 = in-process)")
     p.add_argument("--json", action="store_true",

@@ -157,6 +157,45 @@ def run_analytic(
     )
 
 
+def run_skeleton(
+    algorithm: str,
+    n: int,
+    ranks: int,
+    shape: LoadShape = LoadShape.FULL,
+    machine: MachineSpec | None = None,
+    repetitions: int = 1,
+    nb: int = 64,
+) -> ConfigResult:
+    """Run the exact communication skeleton through the DES (paper scale).
+
+    The exact skeletons (:mod:`repro.obs.symbolic`) issue the full
+    solver's complete communication schedule and flop charges without
+    the numerics, so the DES reaches the paper's n = 34560 on one
+    machine while every modeled quantity stays bitwise equal to a full
+    solver run of the same Job.  The run is deterministic (zero fabric
+    jitter / node spread), so one evaluation covers any repetition
+    count: ``stdev_duration`` is exactly 0.
+    """
+    from repro.obs.symbolic import run_skeleton_job
+
+    result = run_skeleton_job(algorithm, n, ranks, shape=shape,
+                              machine=machine, nb=nb)
+    domains = sorted({d for (_node, d) in result.node_energy_j})
+    return ConfigResult(
+        algorithm=algorithm,
+        n=n,
+        ranks=ranks,
+        shape=shape,
+        repetitions=repetitions,
+        mean_duration=result.duration,
+        stdev_duration=0.0,
+        mean_total_j=result.total_energy_j,
+        mean_package_j=result.package_energy_j,
+        mean_dram_j=result.dram_energy_j,
+        domain_means_j={d: result.domain_energy_j(d) for d in domains},
+    )
+
+
 def run_monitored(
     algorithm: str,
     system,

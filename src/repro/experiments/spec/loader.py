@@ -61,6 +61,8 @@ BUILTIN_MACHINES = {
 }
 
 MODES = ("analytic", "monitored")
+#: the ``skeleton:`` stanza's only mode — exact-skeleton DES, paper scale
+SKELETON_MODE = "skeleton"
 ALGORITHMS = ("ime", "scalapack")
 _SHAPE_VALUES = tuple(s.value for s in LoadShape)
 
@@ -135,6 +137,9 @@ class RunSpec:
     machines: tuple[tuple[str, MachineSpec], ...] = ()
     experiment: GridSpec = field(default_factory=GridSpec)
     quick: GridSpec | None = None
+    #: exact-skeleton DES grid (``repro run --skeleton``); mode is
+    #: always ``"skeleton"`` and the default machine is Marconi A3
+    skeleton: GridSpec | None = None
     solvers: SolversSpec = field(default_factory=SolversSpec)
     observability: ObsSpec = field(default_factory=ObsSpec)
     cache_dir: str | None = None
@@ -266,16 +271,18 @@ _GRID_KEYS = {"mode", "machine", "algorithms", "matrix_sizes", "ranks",
 
 
 def _load_grid(walk: Walker, node, field_path: str,
-               machines: dict[str, MachineSpec]) -> GridSpec | None:
+               machines: dict[str, MachineSpec],
+               modes: tuple[str, ...] = MODES,
+               default_mode: str = "analytic") -> GridSpec | None:
     mapping = walk.mapping(node, field_path)
     walk.check_keys(mapping, field_path, _GRID_KEYS)
 
-    mode = walk.get(mapping, "mode", str, field_path, default="analytic")
-    if mode not in MODES:
+    mode = walk.get(mapping, "mode", str, field_path, default=default_mode)
+    if mode not in modes:
         walk.error(mapping["mode"].line, f"{field_path}.mode",
                    f"unknown mode {mode!r}; expected one of "
-                   f"{', '.join(MODES)}")
-        mode = "analytic"
+                   f"{', '.join(modes)}")
+        mode = default_mode
 
     machine = walk.get(mapping, "machine", str, field_path)
     if machine is not None and machine not in machines \
@@ -331,7 +338,12 @@ def _load_grid(walk: Walker, node, field_path: str,
     if not shapes:
         shapes = (LoadShape.FULL.value,)
 
-    default_reps = PAPER_REPETITIONS if mode == "analytic" else 3
+    if mode == "analytic":
+        default_reps = PAPER_REPETITIONS
+    elif mode == SKELETON_MODE:
+        default_reps = 1  # deterministic: one evaluation covers them all
+    else:
+        default_reps = 3
     repetitions = walk.get(mapping, "repetitions", int, field_path,
                            default=default_reps)
     if repetitions is not None and repetitions < 1:
@@ -341,7 +353,7 @@ def _load_grid(walk: Walker, node, field_path: str,
     seed = walk.get(mapping, "seed", int, field_path, default=0)
 
     power_caps = _load_power_caps(walk, mapping, field_path)
-    if mode == "monitored" and any(c is not None for c in power_caps):
+    if mode != "analytic" and any(c is not None for c in power_caps):
         walk.error(mapping["power_caps"].line, f"{field_path}.power_caps",
                    "power caps are analytic-mode only (the DES pipeline "
                    "does not take a cap)")
@@ -415,8 +427,8 @@ def _load_solvers(walk: Walker, node) -> SolversSpec:
 
 # ------------------------------------------------------- top-level loading
 
-_TOP_KEYS = {"schema", "machines", "experiment", "quick", "solvers",
-             "observability", "cache"}
+_TOP_KEYS = {"schema", "machines", "experiment", "quick", "skeleton",
+             "solvers", "observability", "cache"}
 
 
 def _lint_grid(walk: Walker, grid: GridSpec, node, field_path: str,
@@ -430,7 +442,8 @@ def _lint_grid(walk: Walker, grid: GridSpec, node, field_path: str,
         machine = machines.get(grid.machine) \
             or BUILTIN_MACHINES[grid.machine]()
     else:
-        machine = marconi_a3() if grid.mode == "analytic" else None
+        machine = (marconi_a3()
+                   if grid.mode in ("analytic", SKELETON_MODE) else None)
 
     seen_ranks: set[int] = set()
     for _n, ranks in grid.iter_points():
@@ -512,6 +525,11 @@ def check_text(text: str, path: str = "<config>"):
     quick = None
     if "quick" in top:
         quick = _load_grid(walk, top["quick"], "quick", machines)
+    skeleton = None
+    if "skeleton" in top:
+        skeleton = _load_grid(walk, top["skeleton"], "skeleton", machines,
+                              modes=(SKELETON_MODE,),
+                              default_mode=SKELETON_MODE)
 
     solvers = SolversSpec()
     if "solvers" in top:
@@ -534,12 +552,14 @@ def check_text(text: str, path: str = "<config>"):
         walk.check_keys(cache_map, "cache", {"dir"})
         cache_dir = walk.get(cache_map, "dir", str, "cache")
 
-    grids = [g for g in (experiment, quick) if g is not None]
+    grids = [g for g in (experiment, quick, skeleton) if g is not None]
     if experiment is not None:
         _lint_grid(walk, experiment, top["experiment"], "experiment",
                    machines)
     if quick is not None:
         _lint_grid(walk, quick, top["quick"], "quick", machines)
+    if skeleton is not None:
+        _lint_grid(walk, skeleton, top["skeleton"], "skeleton", machines)
     if solvers and all(g.mode == "analytic" for g in grids):
         walk.warn(top["solvers"].line, "solvers",
                   "solver options only affect monitored (DES) runs; every "
@@ -561,6 +581,7 @@ def check_text(text: str, path: str = "<config>"):
         machines=tuple(machines.items()),
         experiment=experiment,
         quick=quick,
+        skeleton=skeleton,
         solvers=solvers,
         observability=observability,
         cache_dir=cache_dir,
@@ -638,6 +659,8 @@ def dump_spec(spec: RunSpec) -> str:
     data["experiment"] = _grid_data(spec.experiment)
     if spec.quick is not None:
         data["quick"] = _grid_data(spec.quick)
+    if spec.skeleton is not None:
+        data["skeleton"] = _grid_data(spec.skeleton)
     solvers = {solver: dict(pairs) for solver, pairs in
                (("ime", spec.solvers.ime), ("ft", spec.solvers.ft),
                 ("scalapack", spec.solvers.scalapack)) if pairs}
@@ -661,19 +684,27 @@ def _resolve_grid_machine(spec: RunSpec, grid: GridSpec) -> MachineSpec | None:
     if grid.machine is None:
         return None
     machine = spec.machine_named(grid.machine)
-    if grid.mode == "analytic" and machine == marconi_a3():
+    if grid.mode in ("analytic", SKELETON_MODE) and machine == marconi_a3():
         return None
     return machine
 
 
-def compile_tasks(spec: RunSpec, quick: bool = False) -> list[SweepTask]:
+def compile_tasks(spec: RunSpec, quick: bool = False,
+                  skeleton: bool = False) -> list[SweepTask]:
     """Lower a spec to SweepTasks, bit-identical to the constructor path.
 
     ``quick=True`` selects the spec's ``quick:`` grid (the validation-
-    scale DES path), mirroring ``repro sweep --quick``.
+    scale DES path), mirroring ``repro sweep --quick``; ``skeleton=True``
+    selects the ``skeleton:`` grid (exact-skeleton DES at paper scale).
     """
-    grid = spec.quick if quick else spec.experiment
+    if quick and skeleton:
+        raise ValueError("--quick and --skeleton are mutually exclusive")
+    grid = (spec.skeleton if skeleton
+            else spec.quick if quick else spec.experiment)
     if grid is None:
+        if skeleton:
+            raise ValueError("this config has no skeleton: grid "
+                             "(add one or drop --skeleton)")
         raise ValueError("this config has no quick: grid "
                          "(add one or drop --quick)")
     machine = _resolve_grid_machine(spec, grid)
@@ -683,7 +714,7 @@ def compile_tasks(spec: RunSpec, quick: bool = False) -> list[SweepTask]:
     tasks: list[SweepTask] = []
     for algorithm in grid.algorithms:
         options = (spec.solvers.for_algorithm(algorithm)
-                   if grid.mode == "monitored" else ())
+                   if grid.mode in ("monitored", SKELETON_MODE) else ())
         for n, ranks in grid.iter_points():
             for shape in grid.shapes:
                 for cap in grid.power_caps:

@@ -51,6 +51,7 @@ class SweepTask:
     """
 
     mode: str  # "analytic" (paper scale) | "monitored" (validation DES)
+    #          # | "skeleton" (exact-skeleton DES, paper scale)
     algorithm: str
     n: int
     ranks: int
@@ -100,7 +101,7 @@ def _task_machine(task: SweepTask):
 
     if task.machine is not None:
         return task.machine
-    if task.mode == "analytic":
+    if task.mode in ("analytic", "skeleton"):
         return marconi_a3()
     return small_test_machine(cores_per_socket=max(1, task.ranks // 2))
 
@@ -154,6 +155,14 @@ def _compute_task(task: SweepTask):
                             machine, repetitions=task.repetitions,
                             base_seed=task.seed,
                             power_cap_w=task.power_cap_w)
+    if task.mode == "skeleton":
+        from repro.experiments.runner import run_skeleton
+
+        fields = dict(task.solver_options)
+        return run_skeleton(task.algorithm, task.n, task.ranks, shape,
+                            machine=machine,
+                            repetitions=task.repetitions,
+                            nb=fields.get("nb", 64))
     from repro.workloads.generator import generate_system
 
     tracer_factory, tracers = None, []
@@ -205,6 +214,13 @@ def run_task(task: SweepTask) -> dict:
         result = _compute_task(task)
         if cache is not None:
             cache.put(config, fingerprint, result)
+    # Long campaigns walk many (n, ranks) shapes; the module-level memo
+    # tables (tree shapes, block-cyclic maps, ownership permutations)
+    # are keyed by them and would otherwise grow without bound.  Within
+    # a task nothing is evicted, so hit rates are unchanged.
+    from repro.memo import reset_hot_caches
+
+    reset_hot_caches()
     wall = time.perf_counter() - t0  # repro: allow[DET001] -- sweep throughput reporting
     row = {"label": task.label, "cached": cached, "wall_s": wall}
     row.update(result_to_dict(result))

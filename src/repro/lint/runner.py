@@ -38,6 +38,7 @@ ALL_RULES = (
     "MPI003",   # PAPI start/stop not barrier-fenced in a rank program
     "OBS001",   # span opened but never closed / never entered
     "PERF001",  # per-level np.outer trailing update in a rank program
+    "PERF002",  # per-rank Python loop in a fast-engine body
     "CFG001",   # inline machine/grid construction in experiments/
     "E999",     # file does not parse
 )

@@ -1,0 +1,48 @@
+"""Registry of module-level memo caches on the simulator hot paths.
+
+Several hot-path helpers memoize pure index computations in module-level
+``functools.lru_cache`` tables — binomial-tree shapes per communicator
+size (:mod:`repro.simmpi.fastcoll`, :mod:`repro.simmpi.fastp2p`,
+:mod:`repro.simmpi.aggregate`), block-cyclic ownership maps
+(:mod:`repro.solvers.scalapack.blockcyclic`), IMe column ownership
+(:mod:`repro.solvers.ime.parallel`).  Each entry is tiny and a single
+job touches only a handful of keys, but the tables are keyed by
+``(n, size, ...)`` tuples and so grow without bound across a long
+``repro sweep`` campaign that walks many problem/rank shapes.
+
+Every such cache registers itself here at import time; the sweep
+executor calls :func:`reset_hot_caches` after each task so a campaign's
+footprint stays flat (per-*job* state — RAPL activity memos, rank
+contexts, rendezvous records — dies with the job and needs no reset).
+Within one task nothing is evicted, so hit rates are unchanged.
+"""
+
+from __future__ import annotations
+
+#: registered memoized callables (anything with cache_clear/cache_info)
+_CACHES: list = []
+
+
+def register_cache(fn):
+    """Register an ``lru_cache``-decorated callable; returns it unchanged."""
+    _CACHES.append(fn)
+    return fn
+
+
+def reset_hot_caches() -> None:
+    """Clear every registered hot-path memo cache."""
+    for fn in _CACHES:
+        fn.cache_clear()
+
+
+def cache_footprint() -> int:
+    """Total number of live entries across all registered caches."""
+    return sum(fn.cache_info().currsize for fn in _CACHES)
+
+
+def describe_caches() -> dict[str, int]:
+    """``qualified name -> currsize`` for every registered cache."""
+    return {
+        f"{fn.__module__}.{fn.__qualname__}": fn.cache_info().currsize
+        for fn in _CACHES
+    }

@@ -25,6 +25,28 @@ what :mod:`repro.perfmodel.analytic` is for).
 
 Skeletons run under :func:`repro.core.monitoring.monitored_program`
 like any solver, so traces include the monitoring brackets.
+
+Exact skeletons ("skeleton at paper scale")
+-------------------------------------------
+The *sampled* skeletons above trade communication fidelity for speed.
+The **exact** skeletons (:func:`ime_exact_skeleton_program`,
+:func:`scalapack_exact_skeleton_program`) make the opposite trade: they
+issue the *complete* communication schedule of the full solver — every
+collective, in order, with bitwise-identical payload sizes (via the
+``nbytes`` overrides) — and charge bitwise-identical flops through the
+rank context, while skipping the numerics entirely.  Under the same
+Job, **every modeled quantity — virtual time, message/byte counts,
+per-(node, domain) energy — is bitwise equal to the full solver's**,
+at any size both can reach; only the returned solution is absent.
+This is the contract ``tests/test_skeleton_exact.py`` pins and
+``repro bench --skeleton`` exploits to reach the paper's n = 34560 on
+one machine.
+
+Scope: IMe's schedule is data-independent, so the IMe exact skeleton
+matches on *any* input system.  ScaLAPACK's row swaps depend on the
+pivot choices, so its exact skeleton models the no-swap trajectory
+(``piv == j`` at every column) — exactly what the full solver produces
+on column diagonally dominant systems, which the equivalence tests use.
 """
 
 from __future__ import annotations
@@ -33,13 +55,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.machine import MachineSpec, small_test_machine
+from repro.cluster.machine import MachineSpec, marconi_a3, small_test_machine
 from repro.cluster.placement import LoadShape, Placement, layout_for
 from repro.core.monitoring import monitored_program
 from repro.obs.tracer import SpanTracer
 from repro.perfmodel.calibration import profile_for
 from repro.runtime.job import Job, JobResult
 from repro.solvers.ime.costmodel import ImeCostModel
+from repro.solvers.scalapack.blockcyclic import (
+    global_indices,
+    numroc,
+    owner_of,
+)
 from repro.solvers.scalapack.costmodel import ScalapackCostModel
 from repro.solvers.scalapack.grid import ProcessGrid
 
@@ -229,6 +256,234 @@ SKELETON_PROGRAMS = {
     "ime": ime_skeleton_program,
     "scalapack": scalapack_skeleton_program,
 }
+
+
+# ------------------------------------------------- exact skeletons
+def ime_exact_skeleton_program(ctx, comm, n: int,
+                               options: SymbolicOptions | None = None):
+    """IMeP's *complete* communication schedule, no numerics.
+
+    Bitwise twin of :func:`repro.solvers.ime.parallel.ime_parallel_program`
+    under the same Job: every collective is issued in the same order with
+    the same modeled wire size, and the same flops are charged in the
+    same order, so virtual time, traffic, and energy are bitwise equal —
+    for any input system (IMe's schedule is data-independent).  Only
+    ``chunks``/``pivot_per_column`` of ``options`` are ignored: the exact
+    skeleton is full-fidelity by construction.
+    """
+    opts = options or SymbolicOptions()
+    rank, size, master = comm.rank, comm.size, 0
+
+    # INITIME: scatter of (n, table shard, b shard) tuples — an 8-byte
+    # int plus n·len_r + len_r floats for the rank owning len_r columns.
+    with ctx.span("ime:initime"):
+        if rank == master:
+            shards = [0.0] * size
+            sizes = [
+                FLOAT_BYTES * (1 + (n + 1) * len(range(r, n, size)))
+                for r in range(size)
+            ]
+        else:
+            shards = sizes = None
+        yield from comm.scatter(shards, root=master, nbytes=sizes)
+        if rank == master and opts.charge_compute:
+            yield from ctx.compute(flops=float(n) * n, dram_bytes=8.0 * n * n)
+
+    level_flops = ImeCostModel.level_flops_per_rank(n, size)
+    n_local = len(range(rank, n, size))
+    m_local = np.zeros(n_local)  # the last-row shard (real array: the
+    #                              gather sizes itself off the payloads)
+
+    with ctx.span("ime:levels", levels=n):
+        for level in range(n):
+            owner = level % size
+            # (ĥ_l, p) is a 2-float tuple either way; the pivot column's
+            # active part is n − level floats, carried by the stage-level
+            # nbytes override.
+            _aux = (lambda gathered: (1.0, 1.0)) if rank == master else None
+            _chat = (lambda aux: 0.0) if rank == owner else None
+            yield from comm.pipeline((
+                ("gather", master, m_local),
+                ("bcast", master, _aux),
+                ("bcast", owner, _chat, FLOAT_BYTES * (n - level)),
+            ))
+            if opts.charge_compute:
+                yield from ctx.compute(flops=float(level_flops[level]))
+
+    with ctx.span("ime:solution"):
+        pass  # the real epilogue is master-local (no comm, no charge)
+    return None
+
+
+def scalapack_exact_skeleton_program(ctx, comm, n: int,
+                                     options: SymbolicOptions | None = None):
+    """pdgesv's complete communication schedule on the no-swap trajectory.
+
+    Bitwise twin of :func:`repro.solvers.scalapack.pdgesv.pdgesv_program`
+    (default squarest grid, partial pivoting) under the same Job,
+    *provided the full solver's pivot search selects the diagonal at
+    every column* (``piv == j`` — the trajectory column diagonally
+    dominant systems produce): the same collectives with the same
+    modeled wire sizes, and the same per-panel flops accumulated in the
+    same float order.  ``options.nb`` must match the solver's block
+    size; ``chunks``/``pivot_per_column`` are ignored.
+    """
+    opts = options or SymbolicOptions()
+    nb = opts.nb
+    nprocs = comm.size
+    grid = ProcessGrid.squarest(nprocs)
+    myrow, mycol = grid.coords(comm.rank)
+    row_comm = yield from comm.split(color=myrow, key=mycol)
+    col_comm = yield from comm.split(color=mycol, key=myrow)
+
+    with ctx.span("scalapack:distribute", nb=nb):
+        # Shards are (n, local block) tuples: 8 bytes + the local extent.
+        if comm.rank == 0:
+            shards = [0.0] * nprocs
+            sizes = []
+            for r in range(nprocs):
+                pr, pc = grid.coords(r)
+                sizes.append(FLOAT_BYTES * (
+                    1 + numroc(n, nb, pr, grid.nprow)
+                    * numroc(n, nb, pc, grid.npcol)))
+        else:
+            shards = sizes = None
+        yield from comm.scatter(shards, root=0, nbytes=sizes)
+        b_ph = 0.0 if comm.rank == 0 else None
+        yield from comm.bcast(b_ph, root=0, nbytes=FLOAT_BYTES * n)
+
+    grows = global_indices(n, nb, myrow, grid.nprow)
+    gcols = global_indices(n, nb, mycol, grid.npcol)
+    nlrow, nlcol = len(grows), len(gcols)
+
+    with ctx.span("scalapack:factorize", nb=nb):
+        for k0 in range(0, n, nb):
+            kb = min(nb, n - k0)
+            kblock = k0 // nb
+            pck = kblock % grid.npcol
+            prk = kblock % grid.nprow
+            panel_flops = 0.0
+            if mycol == pck:
+                i1s = np.searchsorted(grows, np.arange(k0, k0 + kb),
+                                      side="right")
+
+            # ---- panel: pivot chain + column scale, once per column
+            for j in range(k0, k0 + kb):
+                t = j - k0
+                if mycol == pck:
+                    # Max-loc candidates are 2-tuples either way; all
+                    # (1.0, j) folds to piv == j — the no-swap branch.
+                    best = yield from col_comm.allreduce((1.0, j),
+                                                         op=_maxloc)
+                    piv = best[1]
+                else:
+                    piv = None
+                piv = yield from row_comm.bcast(piv, root=pck)
+                # piv == j: the global row swap does not fire.
+                if mycol == pck:
+                    src_pr = owner_of(j, nb, grid.nprow)
+                    prow_ph = 0.0 if myrow == src_pr else None
+                    yield from col_comm.bcast(prow_ph, root=src_pr,
+                                              nbytes=FLOAT_BYTES * (kb - t))
+                    i1 = int(i1s[t])
+                    if i1 < nlrow:
+                        rest = kb - t - 1
+                        panel_flops += 2.0 * (nlrow - i1) * (rest + 0.5)
+
+            # ---- U12: L11 along the prk process row, U12 down columns
+            c_r = int(np.searchsorted(gcols, k0 + kb))
+            if myrow == prk:
+                l11_ph = 0.0 if mycol == pck else None
+                yield from row_comm.bcast(l11_ph, root=pck,
+                                          nbytes=FLOAT_BYTES * kb * kb)
+                if c_r < nlcol:
+                    panel_flops += float(kb) * kb * (nlcol - c_r)
+            u12_ph = 0.0 if myrow == prk else None
+            yield from col_comm.bcast(
+                u12_ph, root=prk,
+                nbytes=FLOAT_BYTES * kb * max(nlcol - c_r, 0))
+
+            # ---- L21 along process rows, then the trailing GEMM charge
+            r_b = int(np.searchsorted(grows, k0 + kb))
+            l21_ph = 0.0 if mycol == pck else None
+            yield from row_comm.bcast(
+                l21_ph, root=pck,
+                nbytes=FLOAT_BYTES * max(nlrow - r_b, 0) * kb)
+            if r_b < nlrow and c_r < nlcol:
+                panel_flops += 2.0 * (nlrow - r_b) * kb * (nlcol - c_r)
+
+            if opts.charge_compute and panel_flops:
+                yield from ctx.compute(flops=panel_flops)
+
+    with ctx.span("scalapack:substitution"):
+        nblocks = (n + nb - 1) // nb
+        for kblock in range(nblocks):
+            kb = min(nb, n - kblock * nb)
+            prk = kblock % grid.nprow
+            pck = kblock % grid.npcol
+            if myrow == prk:
+                yield from row_comm.reduce(np.zeros(kb), root=pck)
+            root = grid.rank_of(prk, pck)
+            blk = np.zeros(kb) if comm.rank == root else None
+            yield from comm.bcast(blk, root=root)
+        for kblock in range(nblocks - 1, -1, -1):
+            kb = min(nb, n - kblock * nb)
+            prk = kblock % grid.nprow
+            pck = kblock % grid.npcol
+            if myrow == prk:
+                yield from row_comm.reduce(np.zeros(kb), root=pck)
+            root = grid.rank_of(prk, pck)
+            blk = np.zeros(kb) if comm.rank == root else None
+            yield from comm.bcast(blk, root=root)
+        if opts.charge_compute:
+            yield from ctx.compute(flops=2.0 * n * n / nprocs)
+    return None
+
+
+EXACT_SKELETON_PROGRAMS = {
+    "ime": ime_exact_skeleton_program,
+    "scalapack": scalapack_exact_skeleton_program,
+}
+
+
+def run_skeleton_job(
+    algorithm: str,
+    n: int,
+    ranks: int,
+    shape: LoadShape = LoadShape.FULL,
+    machine: MachineSpec | None = None,
+    nb: int = 8,
+    seed: int = 0,
+    profile=None,
+    fast: bool = True,
+) -> JobResult:
+    """Run an exact skeleton as a raw deterministic job.
+
+    The Job is built exactly as a full-solver run with the same
+    arguments would be (default machine :func:`marconi_a3`, zero fabric
+    jitter / node spread), so the returned :class:`JobResult` carries
+    the full solver's modeled duration, traffic, and energy — see the
+    module docstring for the equality contract and its ScaLAPACK scope.
+    """
+    try:
+        program_fn = EXACT_SKELETON_PROGRAMS[algorithm.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"expected one of {sorted(EXACT_SKELETON_PROGRAMS)}"
+        ) from None
+    if machine is None:
+        machine = marconi_a3()
+    placement = Placement(layout_for(ranks, shape, machine), machine)
+    job = Job(machine, placement, profile=profile, seed=seed)
+    job.sim.fast_collectives = fast
+    job.sim.fast_p2p = fast
+    opts = SymbolicOptions(nb=nb)
+
+    def program(ctx, comm):
+        return (yield from program_fn(ctx, comm, n=n, options=opts))
+
+    return job.run(program)
 
 
 # ----------------------------------------------------------------- driver

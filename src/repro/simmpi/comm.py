@@ -358,6 +358,20 @@ class TrafficStats:
             self.inter_node_messages += 1
             self.inter_node_bytes += nbytes
 
+    def record_bulk(self, messages: int, nbytes: int,
+                    inter_node_messages: int, inter_node_bytes: int) -> None:
+        """Aggregate form of :meth:`record` for a whole modeled level.
+
+        Counter sums are order-free exact integers, so recording a
+        collective's hops in one call is bit-identical to per-hop
+        :meth:`record` calls (the vectorized per-level evaluators in
+        :mod:`repro.simmpi.aggregate` use this).
+        """
+        self.messages += messages
+        self.bytes += nbytes
+        self.inter_node_messages += inter_node_messages
+        self.inter_node_bytes += inter_node_bytes
+
     def snapshot(self) -> dict:
         return {
             "messages": self.messages,
@@ -630,6 +644,8 @@ class Communicator:
             the root calls ``producer(prev)`` — ``prev`` being its result
             of the previous stage (``None`` on the first) — and broadcasts
             the returned payload; non-root ranks pass ``producer=None``.
+            An optional fourth element overrides the modeled wire size in
+            bytes (skeleton programs broadcast placeholder payloads).
 
         Returns this rank's list of per-stage results.  The reference
         path below simply drives the stages one collective at a time
@@ -657,7 +673,9 @@ class Communicator:
                 payload = None
                 if self.rank == root and st[2] is not None:
                     payload = st[2](prev)
-                res = yield from self.bcast(payload, root=root)
+                res = yield from self.bcast(
+                    payload, root=root,
+                    nbytes=st[3] if len(st) > 3 else None)
             else:
                 raise SimMPIError(f"unknown pipeline stage kind {kind!r}")
             out.append(res)
@@ -769,21 +787,27 @@ class Communicator:
             return None
         return [acc[r] for r in range(size)]
 
-    def scatter(self, payloads: list | None, root: int = 0):
-        """Flat scatter from root; every rank returns its element."""
+    def scatter(self, payloads: list | None, root: int = 0,
+                nbytes: list | None = None):
+        """Flat scatter from root; every rank returns its element.
+
+        ``nbytes`` optionally overrides the modeled wire size per
+        destination rank (root-only; skeleton programs scatter
+        placeholder payloads).
+        """
         if not 0 <= root < self.size:
             raise SimMPIError(f"root rank {root} out of range [0, {self.size})")
         world = self.world
         if world.sanitizer is not None:
             world.sanitizer.on_collective(self, "scatter", root)
-        gen = (fastcoll.fast_scatter(self, payloads, root)
+        gen = (fastcoll.fast_scatter(self, payloads, root, nbytes)
                if world.sim.fast_collectives
-               else self._scatter_message(payloads, root))
+               else self._scatter_message(payloads, root, nbytes))
         if world.tracer is None:
             return gen
         return self._coll_span("scatter", gen)
 
-    def _scatter_message(self, payloads, root):
+    def _scatter_message(self, payloads, root, nbytes=None):
         tag = self._next_coll_tag()
         if self.rank == root:
             if payloads is None or len(payloads) != self.size:
@@ -794,7 +818,9 @@ class Communicator:
             mine = copy_payload(payloads[root])
             for dst in range(self.size):
                 if dst != root:
-                    yield from self.send(payloads[dst], dest=dst, tag=tag)
+                    yield from self.send(
+                        payloads[dst], dest=dst, tag=tag,
+                        nbytes=None if nbytes is None else nbytes[dst])
             return mine
         item = yield from self.recv(source=root, tag=tag)
         return item

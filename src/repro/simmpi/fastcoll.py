@@ -76,6 +76,10 @@ from __future__ import annotations
 import functools
 from typing import Any, Callable
 
+import numpy as np
+
+from repro.memo import register_cache
+from repro.simmpi import aggregate
 from repro.simmpi.datatypes import copy_payload, payload_nbytes
 from repro.simmpi.engine import Park, SleepUntil
 from repro.simmpi.errors import CommMismatchError
@@ -133,6 +137,7 @@ def _account(world, nbytes: int, src_node: int, dst_node: int,
         _account_trace(tracer, nbytes, src_node, dst_node, wrank)
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def _children_desc(vrank: int, size: int) -> tuple[int, ...]:
     """Binomial children sorted deepest-subtree-first (reduce fold order)."""
@@ -140,23 +145,27 @@ def _children_desc(vrank: int, size: int) -> tuple[int, ...]:
     return tuple(sorted(_binomial_tree(vrank, size)[1], reverse=True))
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def _tree(vrank: int, size: int):
     from repro.simmpi.comm import _binomial_tree
     return _binomial_tree(vrank, size)
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def _child_counts(size: int) -> tuple[int, ...]:
     return tuple(len(_tree(v, size)[1]) for v in range(size))
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def _children_table(size: int) -> tuple[tuple[int, ...], ...]:
     """Children of every virtual rank, indexed by vrank (hot-loop form)."""
     return tuple(_tree(v, size)[1] for v in range(size))
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def _children_desc_table(size: int) -> tuple[tuple[int, ...], ...]:
     """Deepest-first children of every virtual rank, indexed by vrank."""
@@ -452,8 +461,13 @@ class _ScatterRec:
         self.served = 0
 
 
-def fast_scatter(comm, payloads: list | None, root: int):
-    """Closed-form flat scatter (root sends in destination-rank order)."""
+def fast_scatter(comm, payloads: list | None, root: int,
+                 nbytes: list | None = None):
+    """Closed-form flat scatter (root sends in destination-rank order).
+
+    ``nbytes`` optionally overrides the modeled wire size per
+    destination rank (skeleton programs send placeholder payloads).
+    """
     world = comm.world
     sim = world.sim
     fabric = world.fabric
@@ -495,10 +509,12 @@ def fast_scatter(comm, payloads: list | None, root: int):
     t = now
     src_node = comm.node_of(rank)
     wrank = comm.world_rank()
+    # repro: allow[PERF002] -- flat sequential send chain, inherently O(ranks)
     for dst in range(size):
         if dst == root:
             continue
-        pbytes = payload_nbytes(payloads[dst])
+        pbytes = (payload_nbytes(payloads[dst]) if nbytes is None
+                  else nbytes[dst])
         dst_node = comm.node_of(dst)
         arr = _arrival(world, pbytes, src_node, dst_node, t)
         _account(world, pbytes, src_node, dst_node, wrank)
@@ -554,12 +570,16 @@ def _fused_times(comm, rec: _FusedRec, size: int, fold: Callable,
     """
     world = comm.world
     fabric = world.fabric
+    tracer = world.tracer
+    if tracer is None and size >= aggregate.AGGREGATE_MIN_SIZE:
+        venv = aggregate.vector_env(world)
+        if venv is not None:
+            return _fused_times_vec(comm, rec, size, fold, finalize, venv)
     cpu_overhead = fabric.cpu_overhead
     schedule = getattr(fabric, "transfer_schedule", None)
     transfer_time = fabric.transfer_time
     track = world.track_traffic
     stats_record = world.stats.record
-    tracer = world.tracer
     nodes = comm._nodes
     group = comm._group
     entry, acc = rec.entry, rec.acc
@@ -570,6 +590,7 @@ def _fused_times(comm, rec: _FusedRec, size: int, fold: Callable,
     nbytes_in = [0] * size
     red_val: list = [None] * size
     red_compl = [0.0] * size
+    # repro: allow[PERF002] -- retained scalar reference path (stateful fabrics)
     for v in range(size - 1, -1, -1):
         t = entry[v]
         a = acc[v]
@@ -605,6 +626,7 @@ def _fused_times(comm, rec: _FusedRec, size: int, fold: Callable,
     values: list = [None] * size
     values[0] = root_payload
     barr = [0.0] * size
+    # repro: allow[PERF002] -- retained scalar reference path (stateful fabrics)
     for v in range(size):
         if v == 0:
             t = red_compl[0]
@@ -630,6 +652,50 @@ def _fused_times(comm, rec: _FusedRec, size: int, fold: Callable,
                 t = t + ((t + overhead) - t)
         compl[v] = t
     return compl, values
+
+
+def _fused_times_vec(comm, rec: _FusedRec, size: int, fold: Callable,
+                     finalize: Callable | None, venv):
+    """Aggregate form of :func:`_fused_times` (stateless fabrics only).
+
+    The value fold is inherently sequential per parent (``fold`` is an
+    arbitrary reduction), so it runs as one O(ranks) Python pass in the
+    exact deepest-subtree-first order of the scalar walk; both phases'
+    completion *times* are then one vectorized per-wave evaluation each
+    (see :mod:`repro.simmpi.aggregate`).  Bit-identical values, times,
+    and traffic totals.
+    """
+    world = comm.world
+    entry, acc = rec.entry, rec.acc
+    children_desc = _children_desc_table(size)
+    red_val: list = [None] * size
+    nbytes_in = np.zeros(size, dtype=np.int64)
+    # repro: allow[PERF002] -- O(ranks) value fold; times are vectorized below
+    for v in range(size - 1, -1, -1):
+        a = acc[v]
+        for c in children_desc[v]:
+            a = fold(a, red_val[c])
+        acc[v] = a
+        if v:
+            red_val[v] = copy_payload(a)
+            nbytes_in[v] = payload_nbytes(a)
+    nodes_v = np.asarray(comm._nodes, dtype=np.intp)
+    entry_v = np.asarray(entry, dtype=float)
+    red_compl, _arrival, inter_msgs, inter_bytes = aggregate.gather_times(
+        venv, size, entry_v, nbytes_in, nodes_v)
+    track = world.track_traffic
+    if track:
+        world.stats.record_bulk(size - 1, int(nbytes_in[1:].sum()),
+                                inter_msgs, inter_bytes)
+    # ---- bcast phase: entries are the reduce completions
+    root_payload = acc[0] if finalize is None else finalize(acc[0])
+    nb = payload_nbytes(root_payload)
+    compl, inter = aggregate.bcast_times(venv, size, red_compl, nb, nodes_v)
+    if track:
+        world.stats.record_bulk(size - 1, nb * (size - 1), inter, nb * inter)
+    values = [root_payload if v == 0 else copy_payload(root_payload)
+              for v in range(size)]
+    return compl.tolist(), values
 
 
 def _fast_fused(comm, payload, fold: Callable, finalize: Callable | None):
@@ -659,6 +725,7 @@ def _fast_fused(comm, payload, fold: Callable, finalize: Callable | None):
         return (yield Park(rec.procs, v))
     del world._fast_colls[key]
     compl, values = _fused_times(comm, rec, size, fold, finalize)
+    # repro: allow[PERF002] -- per-rank wake fan-out, one schedule per proc
     for u in range(size):
         p = rec.procs[u]
         if p is not None:

@@ -62,6 +62,10 @@ from repro.simmpi.engine import Park, SleepUntil
 from repro.simmpi.errors import CommMismatchError, SimMPIError
 from functools import lru_cache
 
+import numpy as np
+
+from repro.memo import register_cache
+from repro.simmpi import aggregate
 from repro.simmpi.fastcoll import (
     _children_desc_table,
     _children_table,
@@ -70,6 +74,7 @@ from repro.simmpi.fastcoll import (
 )
 
 
+@register_cache
 @lru_cache(maxsize=None)
 def _parents_table(size: int) -> tuple[int, ...]:
     """vrank -> parent vrank in the binomial tree (vrank 0 maps to 0)."""
@@ -326,6 +331,7 @@ def _gather_stage(comm, env, entry: list, payloads: list, root: int):
     out: list = [None] * size
     results: list = [None] * size
     # Virtual ranks descending: every child (vrank > parent) folds first.
+    # repro: allow[PERF002] -- retained scalar reference path (stateful fabrics)
     for v in range(size - 1, -1, -1):
         r = (v + root) % size
         t = entry[r]
@@ -354,18 +360,20 @@ def _gather_stage(comm, env, entry: list, payloads: list, root: int):
     return compl, results
 
 
-def _bcast_stage(comm, env, entry: list, payload: Any, root: int):
+def _bcast_stage(comm, env, entry: list, payload: Any, root: int,
+                 nbytes: int | None = None):
     """Closed-form binomial broadcast with per-rank entry times ``entry``.
 
     Exact replay of :func:`repro.simmpi.fastcoll._bcast_cascade`: the
     root sends eagerly down the tree, a non-root forwards at
     ``max(entry, arrival) + cpu_overhead``.  The root's result is the
     payload object itself (no copy), every other rank's a per-hop copy —
-    the message-level ownership semantics.
+    the message-level ownership semantics.  ``nbytes`` overrides the
+    modeled wire size (skeleton programs send placeholder payloads).
     """
     size = comm.size
     cpu_overhead, schedule, transfer_time, track, stats_record, nodes = env
-    nb = payload_nbytes(payload)
+    nb = payload_nbytes(payload) if nbytes is None else nbytes
     overhead = cpu_overhead(nb)
     children_tbl = _children_table(size)
     barr = [0.0] * size
@@ -374,6 +382,7 @@ def _bcast_stage(comm, env, entry: list, payload: Any, root: int):
     compl = [0.0] * size
     results: list = [None] * size
     # Virtual ranks ascending: every parent (vrank < child) sends first.
+    # repro: allow[PERF002] -- retained scalar reference path (stateful fabrics)
     for v in range(size):
         r = (v + root) % size
         if v == 0:
@@ -400,11 +409,71 @@ def _bcast_stage(comm, env, entry: list, payload: Any, root: int):
     return compl, results
 
 
+def _vrank_view(comm, entry: list, root: int):
+    """Entry times and node ids reindexed by virtual rank (root = 0)."""
+    size = comm.size
+    ranks = (np.arange(size) + root) % size
+    entry_v = np.asarray(entry, dtype=float)[ranks]
+    nodes_v = np.asarray(comm._nodes, dtype=np.intp)[ranks]
+    return ranks, entry_v, nodes_v
+
+
+def _gather_stage_vec(comm, venv, entry: list, payloads: list, root: int):
+    """Aggregate form of :func:`_gather_stage`: whole-level completion
+    times in O(log^2 size) numpy calls (see :mod:`repro.simmpi.aggregate`).
+
+    Bit-identical to the scalar walk: same per-value float expressions
+    evaluated wave-by-wave, order-free integer traffic sums aggregated.
+    """
+    size = comm.size
+    ranks, entry_v, nodes_v = _vrank_view(comm, entry, root)
+    pbytes = np.fromiter(
+        (payload_nbytes(payloads[r]) for r in ranks),
+        dtype=np.int64, count=size,
+    )
+    wire = aggregate.gather_sizes(size, pbytes, DEFAULT_OBJECT_BYTES)
+    compl_v, _arrival, inter_msgs, inter_bytes = aggregate.gather_times(
+        venv, size, entry_v, wire, nodes_v)
+    world = comm.world
+    if world.track_traffic:
+        world.stats.record_bulk(size - 1, int(wire[1:].sum()),
+                                inter_msgs, inter_bytes)
+    out = [copy_payload(p) for p in payloads]
+    results: list = [None] * size
+    results[root] = out
+    compl = np.empty(size)
+    compl[ranks] = compl_v
+    return compl.tolist(), results
+
+
+def _bcast_stage_vec(comm, venv, entry: list, payload: Any, root: int,
+                     nb: int):
+    """Aggregate form of :func:`_bcast_stage` (same contract as
+    :func:`_gather_stage_vec`)."""
+    size = comm.size
+    ranks, entry_v, nodes_v = _vrank_view(comm, entry, root)
+    compl_v, inter = aggregate.bcast_times(venv, size, entry_v, nb, nodes_v)
+    world = comm.world
+    if world.track_traffic:
+        world.stats.record_bulk(size - 1, nb * (size - 1), inter, nb * inter)
+    compl = np.empty(size)
+    compl[ranks] = compl_v
+    results = [payload if r == root else copy_payload(payload)
+               for r in range(size)]
+    return compl.tolist(), results
+
+
 def _pipe_times(comm, rec: _PipeRec, size: int):
     """Replay every stage of a fused pipeline; returns per-rank
-    completion times and per-rank stage-result lists."""
+    completion times and per-rank stage-result lists.
+
+    With a stateless fabric and ``size >= aggregate.AGGREGATE_MIN_SIZE``
+    each stage is one vectorized per-level evaluation; otherwise the
+    scalar per-edge replay runs (bit-identical either way).
+    """
     steps0 = rec.steps[0]
     nsteps = len(steps0)
+    # repro: allow[PERF002] -- O(ranks) shape validation, no numeric work
     for r in range(1, size):
         stepsr = rec.steps[r]
         if len(stepsr) != nsteps or any(
@@ -417,21 +486,34 @@ def _pipe_times(comm, rec: _PipeRec, size: int):
                 f"{[(st[0], st[1]) for st in stepsr]}"
             )
     env = _stage_env(comm)
+    venv = (aggregate.vector_env(comm.world)
+            if size >= aggregate.AGGREGATE_MIN_SIZE else None)
     t = list(rec.entry)
     results: list[list] = [[] for _ in range(size)]
     for si in range(nsteps):
-        kind = steps0[si][0]
-        root = steps0[si][1]
+        step0 = steps0[si]
+        kind = step0[0]
+        root = step0[1]
         if kind == "gather":
             payloads = [rec.steps[r][si][2] for r in range(size)]
-            t, res = _gather_stage(comm, env, t, payloads, root)
+            if venv is not None:
+                t, res = _gather_stage_vec(comm, venv, t, payloads, root)
+            else:
+                t, res = _gather_stage(comm, env, t, payloads, root)
         elif kind == "bcast":
             producer = rec.steps[root][si][2]
             prev = results[root][si - 1] if si else None
             payload = producer(prev) if producer is not None else None
-            t, res = _bcast_stage(comm, env, t, payload, root)
+            nbytes = step0[3] if len(step0) > 3 else None
+            if venv is not None:
+                nb = payload_nbytes(payload) if nbytes is None else nbytes
+                t, res = _bcast_stage_vec(comm, venv, t, payload, root, nb)
+            else:
+                t, res = _bcast_stage(comm, env, t, payload, root,
+                                      nbytes=nbytes)
         else:
             raise SimMPIError(f"unknown pipeline stage kind {kind!r}")
+        # repro: allow[PERF002] -- O(ranks) result fan-out, no numeric work
         for r in range(size):
             results[r].append(res[r])
     return t, results
@@ -472,6 +554,7 @@ def fast_pipeline(comm, steps):
         return (yield Park(rec.procs, rank))
     del colls[key]
     compl, results = _pipe_times(comm, rec, size)
+    # repro: allow[PERF002] -- per-rank wake fan-out, one schedule per proc
     for u in range(size):
         p = rec.procs[u]
         if p is not None:

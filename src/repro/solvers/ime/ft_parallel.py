@@ -181,11 +181,19 @@ def ime_ft_parallel_program(ctx, comm, system=None,
                 None if w == cs_rank else np.nonzero(owner_of == w)[0]
                 for w in group
             ]
+            # Concatenated ownership map over the data ranks: the level
+            # hot path assembles the gathered row in one numpy scatter
+            # (the vectorized rank-class form of a per-rank assembly
+            # loop; values bitwise equal — it is a pure permuted copy).
+            gather_perm = np.concatenate(
+                [c for c in gather_cols if c is not None]
+            )
+            gather_perm.flags.writeable = False
         else:
-            gather_cols = None
-        return alive_pos, gather_cols
+            gather_cols = gather_perm = None
+        return alive_pos, gather_cols, gather_perm
 
-    alive_pos, gather_cols = _comm_caches()
+    alive_pos, gather_cols, gather_perm = _comm_caches()
 
     # Published per-level compute cost (checksum rank pays 2c(n−l) extra
     # for its c weighted columns).
@@ -257,7 +265,7 @@ def ime_ft_parallel_program(ctx, comm, system=None,
                 acc = PanelAccumulator(kb, n, local_cols.shape[1],
                                        zero_c_prefix=False)
             owner_of[lost] = master
-            alive_pos, gather_cols = _comm_caches()
+            alive_pos, gather_cols, gather_perm = _comm_caches()
             recovery_report = {"lost_columns": len(lost),
                                "recovered_at_level": level}
             fail_at = None
@@ -276,11 +284,10 @@ def ime_ft_parallel_program(ctx, comm, system=None,
             def _aux(gathered, level=level):
                 nonlocal h_master
                 m_full = np.empty(n)
-                for r, shard in enumerate(gathered):
-                    cols = gather_cols[r]
-                    if cols is None or len(shard) == 0:
-                        continue
-                    m_full[cols] = shard
+                m_full[gather_perm] = np.concatenate(
+                    [shard for r, shard in enumerate(gathered)
+                     if gather_cols[r] is not None]
+                )
                 p = m_full[level]
                 if p == 0.0:
                     raise SingularMatrixError(

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.memo import register_cache
 from repro.solvers.dense import SingularMatrixError
 from repro.solvers.ime.costmodel import ImeCostModel
 from repro.solvers.kernels import PanelAccumulator
@@ -57,6 +58,7 @@ class ImeOptions:
     block_levels: int = 24
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def _owned_columns(n: int, size: int, rank: int) -> np.ndarray:
     """Cyclic column distribution: rank owns columns rank, rank+N, …
@@ -66,6 +68,21 @@ def _owned_columns(n: int, size: int, rank: int) -> np.ndarray:
     cols = np.arange(rank, n, size)
     cols.flags.writeable = False
     return cols
+
+
+@register_cache
+@functools.lru_cache(maxsize=None)
+def _gather_permutation(n: int, size: int) -> np.ndarray:
+    """Concatenated ownership map: position of every gathered element.
+
+    ``m_full[_gather_permutation(n, size)] = concat(shards)`` assembles a
+    rank-ordered gather result in one numpy scatter — the vectorized
+    rank-class form of the per-rank assembly loop (values bitwise equal:
+    it is a pure copy).  Read-only and memoized like the per-rank maps.
+    """
+    perm = np.concatenate([_owned_columns(n, size, r) for r in range(size)])
+    perm.flags.writeable = False
+    return perm
 
 
 def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = None):
@@ -143,9 +160,11 @@ def ime_parallel_program(ctx, comm, system=None, options: ImeOptions | None = No
             if rank == master:
                 def _aux(gathered, level=level):
                     nonlocal h_master
+                    # One numpy scatter per level instead of a Python loop
+                    # over ranks (same values: a pure permuted copy).
                     m_full = np.empty(n)
-                    for r, shard in enumerate(gathered):
-                        m_full[_owned_columns(n, size, r)] = shard
+                    m_full[_gather_permutation(n, size)] = \
+                        np.concatenate(gathered)
                     p = m_full[level]
                     if p == 0.0:
                         raise SingularMatrixError(

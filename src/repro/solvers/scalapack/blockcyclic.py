@@ -19,6 +19,8 @@ import functools
 
 import numpy as np
 
+from repro.memo import register_cache
+
 
 def _check(nb: int, nprocs: int) -> None:
     if nb <= 0:
@@ -27,6 +29,7 @@ def _check(nb: int, nprocs: int) -> None:
         raise ValueError(f"process count must be positive: {nprocs}")
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def numroc(n: int, nb: int, iproc: int, nprocs: int) -> int:
     """NUMber of Rows Or Columns: local extent of a global dimension.
@@ -49,6 +52,7 @@ def numroc(n: int, nb: int, iproc: int, nprocs: int) -> int:
     return base
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def owner_of(g: int, nb: int, nprocs: int) -> int:
     """Process owning global index ``g``."""
@@ -58,6 +62,7 @@ def owner_of(g: int, nb: int, nprocs: int) -> int:
     return (g // nb) % nprocs
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def local_index(g: int, nb: int, nprocs: int) -> int:
     """Local index of global index ``g`` on its owning process."""
@@ -68,6 +73,7 @@ def local_index(g: int, nb: int, nprocs: int) -> int:
     return local_block * nb + g % nb
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def global_index(l: int, nb: int, iproc: int, nprocs: int) -> int:
     """Global index of local index ``l`` on process ``iproc``."""
@@ -78,6 +84,7 @@ def global_index(l: int, nb: int, iproc: int, nprocs: int) -> int:
     return (local_block * nprocs + iproc) * nb + l % nb
 
 
+@register_cache
 @functools.lru_cache(maxsize=None)
 def global_indices(n: int, nb: int, iproc: int, nprocs: int) -> np.ndarray:
     """All global indices owned by ``iproc``, in local storage order.

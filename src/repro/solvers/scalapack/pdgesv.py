@@ -279,10 +279,14 @@ def pdgesv_program(ctx, comm, system=None,
 
     # ------------------------------------------------------------- solve
     with ctx.span("scalapack:substitution"):
-        # Apply the recorded pivots to the (replicated) right-hand side.
+        # Apply the recorded pivots to the (replicated) right-hand side:
+        # fold the swap chain into one index permutation and gather once
+        # (bit-identical — swaps move values, they never combine them).
+        perm = np.arange(n)
         for j, piv in enumerate(ipiv):
             if piv != j:
-                b[j], b[piv] = b[piv], b[j]
+                perm[j], perm[piv] = perm[piv], perm[j]
+        b = b[perm]
 
         nblocks = (n + nb - 1) // nb
         y = np.zeros(n)

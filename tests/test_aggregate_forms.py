@@ -1,0 +1,264 @@
+"""Three-way equivalence of the per-level aggregate closed forms.
+
+The fast engines (``repro/simmpi/fastcoll.py``, ``fastp2p.py``) evaluate
+collective and pipeline timing in one of two ways: a scalar per-edge
+walk, or — when the fabric is uniform per rank pair and the world is
+large enough (``aggregate.AGGREGATE_MIN_SIZE``) — a vectorized per-level
+closed form that advances whole rank classes per numpy call.  Both must
+be bit-identical to each other and to the message-level reference:
+same results, same virtual times, same traffic, same energy.
+
+These tests force each path explicitly by pinning
+``AGGREGATE_MIN_SIZE`` (2 → vectorized even for tiny worlds; a huge
+value → scalar even for big ones) and compare all three legs across
+the solver grid, including ft-IMe mid-solve recovery and
+wildcard/probe degradation.
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.runtime.job import Job
+from repro.simmpi import aggregate
+from repro.simmpi.comm import ANY_SOURCE, World
+from repro.simmpi.engine import Simulator
+from repro.simmpi.fabric import UniformFabric
+from repro.solvers.ime.ft_parallel import FtOptions, ime_ft_parallel_program
+from repro.solvers.ime.parallel import ime_parallel_program
+from repro.solvers.scalapack.pdgesv import ScalapackOptions, pdgesv_program
+from repro.workloads.generator import generate_system
+
+
+@contextlib.contextmanager
+def aggregate_min_size(value):
+    saved = aggregate.AGGREGATE_MIN_SIZE
+    aggregate.AGGREGATE_MIN_SIZE = value
+    try:
+        yield
+    finally:
+        aggregate.AGGREGATE_MIN_SIZE = saved
+
+
+FORCE_VECTOR = 2          # vectorize even two-rank worlds
+FORCE_SCALAR = 10 ** 9    # never vectorize
+
+
+def _assert_same(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_array_equal(a, b)
+    elif isinstance(a, (tuple, list)):
+        assert type(a) is type(b) and len(a) == len(b)
+        for x, y in zip(a, b):
+            _assert_same(x, y)
+    else:
+        assert a == b
+
+
+def run_job(program, ranks, fast):
+    if ranks % 2:
+        machine = small_test_machine(cores_per_socket=ranks)
+        placement = place_ranks(ranks, LoadShape.HALF_ONE_SOCKET, machine)
+    else:
+        machine = small_test_machine(cores_per_socket=ranks // 2)
+        placement = place_ranks(ranks, LoadShape.FULL, machine)
+    job = Job(machine, placement)
+    job.sim.fast_collectives = fast
+    job.sim.fast_p2p = fast
+    return job.run(program)
+
+
+def three_way(program, ranks):
+    """Vector, scalar-fast, and message legs must all be bit-identical."""
+    with aggregate_min_size(FORCE_VECTOR):
+        vec = run_job(program, ranks, True)
+    with aggregate_min_size(FORCE_SCALAR):
+        scal = run_job(program, ranks, True)
+    msg = run_job(program, ranks, False)
+    for name, other in (("scalar", scal), ("message", msg)):
+        assert vec.duration == other.duration, name
+        assert vec.node_energy_j == other.node_energy_j, name
+        assert vec.traffic == other.traffic, name
+        for a, b in zip(vec.rank_results, other.rank_results):
+            _assert_same(a, b)
+    return vec
+
+
+# ------------------------------------------------------------ solver grid
+@pytest.mark.parametrize("n,ranks", [(48, 4), (33, 6)])
+def test_ime_three_way(n, ranks):
+    system = generate_system(n, seed=1)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        return (yield from ime_parallel_program(ctx, comm, system=sys_arg))
+
+    result = three_way(program, ranks)
+    np.testing.assert_allclose(result.rank_results[0],
+                               np.linalg.solve(system.a, system.b),
+                               atol=1e-9)
+
+
+@pytest.mark.parametrize("n,ranks,nb", [(48, 4, 8), (37, 6, 5)])
+def test_scalapack_three_way(n, ranks, nb):
+    system = generate_system(n, seed=2)
+    options = ScalapackOptions(nb=nb)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        return (yield from pdgesv_program(ctx, comm, system=sys_arg,
+                                          options=options))
+
+    result = three_way(program, ranks)
+    np.testing.assert_allclose(result.rank_results[0],
+                               np.linalg.solve(system.a, system.b),
+                               atol=1e-9)
+
+
+# --------------------------------------------------------- ft-IMe paths
+def _ft_program(system, options):
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        return (yield from ime_ft_parallel_program(ctx, comm,
+                                                   system=sys_arg,
+                                                   options=options))
+    return program
+
+
+def test_ft_ime_fault_free_three_way():
+    system = generate_system(24, seed=3)
+    three_way(_ft_program(system, FtOptions(n_checksums=2)), 5)
+
+
+def test_ft_ime_mid_solve_recovery_three_way():
+    """The shrink/recovery path rebuilds its gather permutation on the
+    surviving communicator — all three timing legs must stay identical
+    through the failure, the reconstruction, and the remainder."""
+    system = generate_system(20, seed=4)
+    options = FtOptions(n_checksums=8, fail_rank=2, fail_level=10)
+    result = three_way(_ft_program(system, options), 4)
+    x, report = result.rank_results[0]
+    np.testing.assert_allclose(x, np.linalg.solve(system.a, system.b),
+                               atol=1e-8)
+    assert report["recovered_at_level"] == 10
+    assert result.rank_results[2] == "failed"
+
+
+# ----------------------------------------- wildcard / probe degradation
+def run_world_three_way(size, program):
+    """World-level three-way comparison (no energy context needed)."""
+
+    def run(fast):
+        sim = Simulator()
+        sim.fast_collectives = fast
+        sim.fast_p2p = fast
+        world = World(sim, size, fabric=UniformFabric(),
+                      node_of=lambda r: r % 2)
+        procs = [sim.spawn(program(comm), name=f"rank{comm.rank}")
+                 for comm in world.comm_world()]
+        sim.run()
+        return [p.result for p in procs], sim.now, world.stats.snapshot()
+
+    with aggregate_min_size(FORCE_VECTOR):
+        rv, tv, sv = run(True)
+    with aggregate_min_size(FORCE_SCALAR):
+        rs, ts, ss = run(True)
+    rm, tm, sm = run(False)
+    assert tv == ts == tm
+    assert sv == ss == sm
+    for a, b, c in zip(rv, rs, rm):
+        _assert_same(a, b)
+        _assert_same(a, c)
+    return rv
+
+
+@pytest.mark.parametrize("size", [4, 6])
+def test_wildcard_recv_degrades_identically(size):
+    """An ANY_SOURCE recv flushes fused flows; collectives before and
+    after it must still agree across all three legs."""
+
+    def program(comm):
+        data = np.arange(5.0) if comm.rank == 0 else None
+        data = yield from comm.bcast(data, root=0)
+        if comm.rank == 0:
+            got = []
+            for _ in range(comm.size - 1):
+                p, st = yield from comm.recv(source=ANY_SOURCE, tag=9,
+                                             with_status=True)
+                got.append((st["source"], p))
+            got.sort()
+        else:
+            yield from comm.send(comm.rank * 10, dest=0, tag=9)
+            got = None
+        back = yield from comm.bcast(got, root=0)
+        return (float(data.sum()), back)
+
+    results = run_world_three_way(size, program)
+    assert results[1][1] == [(r, r * 10) for r in range(1, size)]
+
+
+@pytest.mark.parametrize("size", [4, 6])
+def test_probe_degrades_identically(size):
+    """A probe forces mailbox delivery; surrounding gather traffic must
+    match across all three legs."""
+
+    def program(comm):
+        if comm.rank == 1:
+            yield from comm.send(np.full(3, 7.0), dest=0, tag=2)
+        if comm.rank == 0:
+            st = yield from comm.probe(source=1, tag=2)
+            payload = yield from comm.recv(source=st["source"],
+                                           tag=st["tag"])
+        else:
+            payload = None
+        gathered = yield from comm.gather(float(comm.rank), root=0)
+        if comm.rank == 0:
+            return (float(payload.sum()), gathered)
+        return gathered
+
+    results = run_world_three_way(size, program)
+    assert results[0] == (21.0, [float(r) for r in range(size)])
+
+
+# ------------------------------------------------------------ gate sanity
+def test_vector_leg_actually_vectorizes(monkeypatch):
+    """Guard against the vector leg silently falling back to scalar:
+    count vector_env() hits during a forced-vector solver run."""
+    hits = []
+    real = aggregate.vector_env
+
+    def spy(world):
+        venv = real(world)
+        if venv is not None:
+            hits.append(venv)
+        return venv
+
+    monkeypatch.setattr(aggregate, "vector_env", spy)
+    system = generate_system(24, seed=5)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        return (yield from ime_parallel_program(ctx, comm, system=sys_arg))
+
+    with aggregate_min_size(FORCE_VECTOR):
+        run_job(program, 4, True)
+    assert hits, "forced-vector run never reached the aggregate forms"
+
+
+def test_scalar_gate_respected(monkeypatch):
+    """Below AGGREGATE_MIN_SIZE the closed forms must not be consulted."""
+    calls = []
+    monkeypatch.setattr(aggregate, "vector_env",
+                        lambda world: calls.append(world) or None)
+    system = generate_system(24, seed=5)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        return (yield from ime_parallel_program(ctx, comm, system=sys_arg))
+
+    with aggregate_min_size(FORCE_SCALAR):
+        run_job(program, 4, True)
+    assert not calls

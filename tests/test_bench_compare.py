@@ -17,7 +17,7 @@ def _load_tool():
 
 
 def _report(label, fast_wall, message_wall, virtual_s=1.0, messages=10,
-            nbytes=100, energy=5.0):
+            nbytes=100, energy=5.0, maxrss_kb=None):
     return {
         "schema": 1,
         "points": [{
@@ -32,6 +32,8 @@ def _report(label, fast_wall, message_wall, virtual_s=1.0, messages=10,
                     "messages": messages,
                     "bytes": nbytes,
                     "total_energy_j": energy,
+                    **({"maxrss_kb": maxrss_kb}
+                       if maxrss_kb is not None else {}),
                 }
                 for mode, wall in (("fast", fast_wall),
                                    ("message", message_wall))
@@ -84,3 +86,50 @@ def test_main_prints_table(tmp_path, capsys):
     assert tool.main([old, new]) == 0
     out = capsys.readouterr().out
     assert "old spdup" in out and "ime-n8-p2" in out
+
+
+def test_rss_regression_warns(tmp_path):
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json",
+                 _report("ime-n8-p2", 2.0, 4.0, maxrss_kb=100_000))
+    new = _write(tmp_path, "new.json",
+                 _report("ime-n8-p2", 1.0, 4.0, maxrss_kb=200_000))
+    _table, warnings = tool.compare(old, new)
+    assert len(warnings) == 1
+    assert "memory regression" in warnings[0]
+    assert "2.00x" in warnings[0]
+
+
+def test_rss_within_tolerance_is_silent(tmp_path):
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json",
+                 _report("ime-n8-p2", 2.0, 4.0, maxrss_kb=100_000))
+    new = _write(tmp_path, "new.json",
+                 _report("ime-n8-p2", 1.0, 4.0, maxrss_kb=120_000))
+    table, warnings = tool.compare(old, new)
+    assert warnings == []
+    row = next(l for l in table.splitlines() if l.startswith("ime-n8-p2"))
+    # 100000 KB ≈ 98 MB, 120000 KB ≈ 117 MB
+    assert "98" in row and "117" in row
+
+
+def test_rss_tolerance_is_configurable(tmp_path):
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json",
+                 _report("ime-n8-p2", 2.0, 4.0, maxrss_kb=100_000))
+    new = _write(tmp_path, "new.json",
+                 _report("ime-n8-p2", 1.0, 4.0, maxrss_kb=120_000))
+    _table, warnings = tool.compare(old, new, rss_tolerance=1.1)
+    assert len(warnings) == 1 and "memory regression" in warnings[0]
+
+
+def test_reports_without_rss_still_compare(tmp_path):
+    """Legacy reports (pre maxrss_kb) get '-' columns and no warning."""
+    tool = _load_tool()
+    old = _write(tmp_path, "old.json", _report("ime-n8-p2", 2.0, 4.0))
+    new = _write(tmp_path, "new.json",
+                 _report("ime-n8-p2", 1.0, 4.0, maxrss_kb=200_000))
+    table, warnings = tool.compare(old, new)
+    assert warnings == []
+    row = next(l for l in table.splitlines() if l.startswith("ime-n8-p2"))
+    assert " - " in row

@@ -1,0 +1,77 @@
+"""Hot-path memo cache registry: bounded footprint across sweeps.
+
+The module-level ``lru_cache`` tables on the simulator hot paths (tree
+shapes, block-cyclic maps, ownership permutations) are keyed by
+``(n, size, ...)`` tuples and would grow without bound across a long
+``repro sweep`` campaign.  ``run_task`` resets them after every task
+(:mod:`repro.memo`), so a 100-task campaign's cache footprint stays
+flat instead of accumulating one entry set per distinct shape.
+"""
+
+import functools
+
+import pytest
+
+from repro import memo
+from repro.experiments.sweep import SweepTask, run_task
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+
+
+def test_registry_reports_and_clears(monkeypatch):
+    calls = []
+
+    @functools.lru_cache(maxsize=None)
+    def fib(k):
+        calls.append(k)
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+
+    monkeypatch.setattr(memo, "_CACHES", list(memo._CACHES))
+    assert memo.register_cache(fib) is fib
+    fib(10)
+    assert memo.cache_footprint() >= 11
+    assert memo.describe_caches()[f"{fib.__module__}.{fib.__qualname__}"] == 11
+    memo.reset_hot_caches()
+    assert fib.cache_info().currsize == 0
+
+
+def test_hot_caches_fill_during_a_job():
+    """Sanity: the registered tables are really on the solver hot path —
+    a raw run (no sweep executor) leaves entries behind."""
+    from repro.obs.symbolic import run_skeleton_job
+    from repro.cluster.machine import small_test_machine
+
+    memo.reset_hot_caches()
+    run_skeleton_job("scalapack", 24, 4,
+                     machine=small_test_machine(cores_per_socket=2))
+    assert memo.cache_footprint() > 0
+    memo.reset_hot_caches()
+    assert memo.cache_footprint() == 0
+
+
+def test_hundred_task_sweep_footprint_stays_flat():
+    """100 monitored tasks over distinct (n, ranks) shapes: without the
+    per-task reset every shape would leave its own memo entries behind;
+    with it the footprint after each task is identically zero."""
+    peak = 0
+    for i in range(100):
+        task = SweepTask("monitored", ("ime", "scalapack")[i % 2],
+                         16 + i, 4, "full", repetitions=1)
+        run_task(task)
+        peak = max(peak, memo.cache_footprint())
+    assert peak == 0
+
+
+def test_reset_does_not_change_results():
+    """Clearing the memo tables between tasks is invisible in results:
+    rerunning the same task after a reset reproduces the row exactly."""
+    task = SweepTask("monitored", "ime", 24, 4, "full", repetitions=1)
+    first = run_task(task)
+    memo.reset_hot_caches()
+    second = run_task(task)
+    first.pop("wall_s"), second.pop("wall_s")
+    first.pop("cached"), second.pop("cached")
+    assert first == second

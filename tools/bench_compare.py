@@ -16,6 +16,12 @@ two runs of the same simulator version, so any difference is flagged
 loudly — it means the change altered simulation semantics, not just
 wall-clock speed.
 
+Peak RSS (``maxrss_kb``, recorded per point since the skeleton-mode
+benchmarks) is diffed alongside the speedups: a wall-clock win that
+costs a multiple of the memory is usually a caching bug, so any point
+whose fast-path peak RSS grows beyond ``--rss-tolerance`` (default
+1.5x) raises a memory-regression warning.
+
 ``make bench-diff`` wires this against ``git show HEAD:BENCH_simperf.json``
 so a working tree can be compared to the committed baseline in one step.
 """
@@ -50,12 +56,23 @@ def modeled_diffs(old: dict, new: dict) -> list[str]:
     return diffs
 
 
-def compare(old_path: str, new_path: str) -> tuple[str, list[str]]:
+def rss_mb(point: dict | None) -> float | None:
+    """Fast-path peak RSS of a point in MB, if recorded (ru_maxrss is KB
+    on Linux)."""
+    if point is None:
+        return None
+    rss = point.get("results", {}).get("fast", {}).get("maxrss_kb")
+    return rss / 1024.0 if rss is not None else None
+
+
+def compare(old_path: str, new_path: str,
+            rss_tolerance: float = 1.5) -> tuple[str, list[str]]:
     """Render the comparison table; returns ``(table, warnings)``."""
     old_pts = load_points(old_path)
     new_pts = load_points(new_path)
     header = (f"{'point':<26} {'old fast':>9} {'new fast':>9} "
-              f"{'old spdup':>9} {'new spdup':>9} {'Δ spdup':>8}")
+              f"{'old spdup':>9} {'new spdup':>9} {'Δ spdup':>8} "
+              f"{'old MB':>7} {'new MB':>7}")
     lines = [header, "-" * len(header)]
     warnings: list[str] = []
     for label in list(old_pts) + [l for l in new_pts if l not in old_pts]:
@@ -69,6 +86,8 @@ def compare(old_path: str, new_path: str) -> tuple[str, list[str]]:
         nf = new.get("results", {}).get("fast", {}).get("wall_s")
         os_ = old.get("speedup")
         ns = new.get("speedup")
+        orss = rss_mb(old)
+        nrss = rss_mb(new)
         row = f"{label:<26} "
         row += f"{of:>9.3f}" if of is not None else f"{'-':>9}"
         row += f" {nf:>9.3f}" if nf is not None else f" {'-':>9}"
@@ -78,11 +97,19 @@ def compare(old_path: str, new_path: str) -> tuple[str, list[str]]:
             row += f" {ns - os_:>+8.2f}"
         else:
             row += f" {'-':>8}"
+        row += f" {orss:>7.0f}" if orss is not None else f" {'-':>7}"
+        row += f" {nrss:>7.0f}" if nrss is not None else f" {'-':>7}"
         lines.append(row)
         for q in modeled_diffs(old, new):
             warnings.append(
                 f"{label}: modeled quantity {q} differs between reports "
                 "— the change altered simulation semantics, not just speed"
+            )
+        if orss and nrss and nrss > orss * rss_tolerance:
+            warnings.append(
+                f"{label}: memory regression — fast-path peak RSS grew "
+                f"{nrss / orss:.2f}x ({orss:.0f} MB -> {nrss:.0f} MB, "
+                f"tolerance {rss_tolerance:.2f}x)"
             )
     return "\n".join(lines), warnings
 
@@ -94,8 +121,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("old", help="baseline report (e.g. the committed one)")
     parser.add_argument("new", help="candidate report")
+    parser.add_argument("--rss-tolerance", type=float, default=1.5,
+                        help="warn when fast-path peak RSS grows beyond "
+                             "this factor (default 1.5)")
     args = parser.parse_args(argv)
-    table, warnings = compare(args.old, args.new)
+    table, warnings = compare(args.old, args.new, args.rss_tolerance)
     print(table)
     for w in warnings:
         print(f"WARNING: {w}", file=sys.stderr)
