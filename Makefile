@@ -26,9 +26,12 @@ doctest:
 validate-configs:
 	PYTHONPATH=src python -m repro.cli validate-config configs
 
-# Every intra-repo Markdown link in README.md and docs/ must resolve.
+# Every intra-repo Markdown link in README.md and docs/ must resolve,
+# and the rule table in docs/static-analysis.md must match the registry
+# (regenerate with: python tools/check_rule_docs.py --write).
 docs-check:
 	python tools/check_docs_links.py
+	PYTHONPATH=src python tools/check_rule_docs.py
 
 # Simulator wall-clock suite; refreshes the committed baseline
 # BENCH_simperf.json (see docs/performance.md).

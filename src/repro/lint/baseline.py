@@ -4,9 +4,11 @@ The baseline file (``tools/lint_baseline.json``) stores a multiset of
 finding keys — ``(path, rule, stripped line text)``, deliberately
 line-number-free so a grandfathered finding survives unrelated edits
 above it.  ``apply_baseline`` subtracts the stored multiset from the
-current findings; whatever remains is *new* and fails the run.  Fixing
-a baselined finding never hurts (stale entries are simply unused; use
-``--write-baseline`` to re-tighten the file).
+current findings; whatever remains is *new* and fails the run.
+``stale_entries`` reports the opposite direction — baseline entries no
+longer matched by any current finding — and the CLI fails on those too,
+so the ratchet only ever tightens: fix a grandfathered finding and the
+baseline must shrink with it (``--write-baseline`` re-tightens).
 """
 
 from __future__ import annotations
@@ -56,3 +58,16 @@ def apply_baseline(findings: list[Finding],
         else:
             fresh.append(finding)
     return fresh
+
+
+def stale_entries(findings: list[Finding],
+                  baseline: Counter) -> list[tuple[str, str, str, int]]:
+    """Baseline entries (or excess counts) no current finding matches.
+
+    Returned as ``(path, rule, text, unmatched count)`` tuples; a
+    non-empty result means the baseline is stale and must be rewritten.
+    """
+    remaining = Counter(baseline)
+    remaining.subtract(Counter(f.key() for f in findings))
+    return [(p, r, t, n) for (p, r, t), n in sorted(remaining.items())
+            if n > 0]

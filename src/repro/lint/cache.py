@@ -1,0 +1,127 @@
+"""Incremental per-file lint cache.
+
+Parsing and whole-tree inference are cheap and always run — they are
+what the interprocedural passes need.  What dominates a warm run is the
+per-file *rule* passes, so those are what get cached, content-addressed
+by everything that can change a file's findings:
+
+* the file's own source (sha256),
+* the **engine fingerprint** — a hash of every ``repro/lint`` source
+  file, so editing any rule or the flow engine invalidates everything,
+* the **tree digest** — the whole-tree facts a single file's findings
+  may depend on: the inferred simcall-name sets, the call-graph's
+  function signatures, and the interprocedural unit/taint summaries.
+  Editing file B only invalidates file A when a fact A could have
+  consumed actually changed,
+* the active options (rule selection, det scope).
+
+Storage reuses the experiment-cache conventions: entries live under
+``$REPRO_CACHE_DIR`` (default ``.repro-cache``) in ``lint/``; setting
+``REPRO_CACHE_DIR=off`` disables caching entirely.  Writes are atomic
+(temp file + ``os.replace``) so concurrent lint runs are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+from repro.experiments.cache import _cache_root, canonical_json
+from repro.lint.findings import Finding
+from repro.memo import register_cache
+
+SCHEMA = 1
+
+
+@lru_cache(maxsize=1)
+def engine_fingerprint() -> str:
+    """Hash of the analyzer's own sources — new code, cold cache."""
+    root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+register_cache(engine_fingerprint)
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def tree_digest(facts: dict) -> str:
+    """Digest of the whole-tree facts per-file findings may consume."""
+    return hashlib.sha256(canonical_json(facts).encode()).hexdigest()
+
+
+class LintCache:
+    """Content-addressed store of per-file finding lists."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def address(source_hash: str, tree: str, options_key: str) -> str:
+        return hashlib.sha256(canonical_json({
+            "engine": engine_fingerprint(),
+            "source": source_hash,
+            "tree": tree,
+            "options": options_key,
+        }).encode()).hexdigest()
+
+    def path_for(self, address: str) -> Path:
+        return self.root / address[:2] / f"{address}.json"
+
+    def get(self, source_hash: str, tree: str,
+            options_key: str) -> list[Finding] | None:
+        path = self.path_for(self.address(source_hash, tree, options_key))
+        try:
+            entry = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Finding(**f) for f in entry["findings"]]
+
+    def put(self, source_hash: str, tree: str, options_key: str,
+            findings: list[Finding]) -> None:
+        address = self.address(source_hash, tree, options_key)
+        path = self.path_for(address)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({
+            "schema": SCHEMA,
+            "address": address,
+            "findings": [vars(f) for f in findings],
+        }, sort_keys=True) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)  # atomic; racers write identical bytes
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def default_lint_cache() -> LintCache | None:
+    """Cache at the configured root, or None when caching is disabled."""
+    root = _cache_root()
+    if root is None:
+        return None
+    return LintCache(root / "lint")

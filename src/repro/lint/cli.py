@@ -2,11 +2,14 @@
 
     repro lint src/repro tools examples
     repro lint --format=json src/repro
+    repro lint --format=sarif src/repro > lint.sarif
+    repro lint --jobs 4 src/repro
     repro lint --baseline tools/lint_baseline.json src/repro
     repro lint --write-baseline tools/lint_baseline.json src/repro
+    repro lint --explain UNIT002
 
 Exit status 0 when clean (after suppressions and baseline), 1 when new
-findings remain, 2 on usage errors.
+findings remain or the baseline is stale, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -16,8 +19,15 @@ import json
 import sys
 from pathlib import Path
 
-from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
-from repro.lint.runner import ALL_RULES, LintOptions, lint_paths
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    stale_entries,
+    write_baseline,
+)
+from repro.lint.registry import ALL_RULES, explain
+from repro.lint.runner import LintOptions, lint_paths
+from repro.lint.sarif import to_sarif
 
 DEFAULT_PATHS = ("src/repro", "tools", "examples")
 
@@ -28,26 +38,50 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json emits one object with a findings array)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (json: one object with a findings array; "
+             "sarif: SARIF 2.1.0 for CI annotation upload)",
     )
     parser.add_argument(
         "--select", default=None, metavar="RULES",
-        help=f"comma-separated rule ids to run (default: all of "
+        help="comma-separated rule ids to run (default: all of "
              f"{','.join(ALL_RULES)})",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyze cache-miss files with N forked workers (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the incremental result cache for this run",
+    )
+    parser.add_argument(
         "--baseline", default=None, metavar="FILE",
-        help="grandfather findings recorded in FILE; fail only on new ones",
+        help="grandfather findings recorded in FILE; fail on new findings "
+             "and on stale baseline entries",
     )
     parser.add_argument(
         "--write-baseline", default=None, metavar="FILE",
         help="write the current findings to FILE as the new baseline "
              "and exit 0",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULEID",
+        help="print a rule's rationale with a violating/fixed example "
+             "pair, then exit",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
+    if args.explain:
+        try:
+            print(explain(args.explain))
+        except KeyError:
+            print(f"unknown rule id: {args.explain} "
+                  f"(known: {', '.join(ALL_RULES)})", file=sys.stderr)
+            return 2
+        return 0
+
     select = None
     if args.select:
         select = frozenset(r.strip().upper() for r in args.select.split(","))
@@ -56,7 +90,9 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"unknown rule ids: {', '.join(sorted(unknown))}",
                   file=sys.stderr)
             return 2
-    result = lint_paths(list(args.paths), LintOptions(select=select))
+    options = LintOptions(select=select, jobs=max(args.jobs, 1),
+                          use_cache=not args.no_cache)
+    result = lint_paths(list(args.paths), options)
     findings = result.findings
 
     if args.write_baseline:
@@ -65,23 +101,34 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 0
 
     baselined = 0
+    stale: list[tuple[str, str, str, int]] = []
     if args.baseline:
         baseline_path = Path(args.baseline)
         if not baseline_path.exists():
             print(f"baseline file not found: {baseline_path}",
                   file=sys.stderr)
             return 2
+        baseline = load_baseline(baseline_path)
+        stale = stale_entries(findings, baseline)
         before = len(findings)
-        findings = apply_baseline(findings, load_baseline(baseline_path))
+        findings = apply_baseline(findings, baseline)
         baselined = before - len(findings)
 
     if args.format == "json":
         payload = {
             "files_checked": result.files_checked,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
             "baselined": baselined,
+            "stale_baseline_entries": [
+                {"path": p, "rule": r, "text": t, "count": n}
+                for p, r, t, n in stale
+            ],
             "findings": [f.to_json() for f in findings],
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2))
     else:
         for finding in findings:
             print(finding.format())
@@ -91,8 +138,16 @@ def run_from_args(args: argparse.Namespace) -> int:
                    f"{result.files_checked} file(s)")
         if baselined:
             summary += f" ({baselined} baselined)"
+        if result.cache_hits:
+            summary += f" [{result.cache_hits} cached]"
         print(summary)
-    return 1 if findings else 0
+        for path, rule, text, count in stale:
+            print(f"stale baseline entry ({count}x): {path}: {rule} {text}",
+                  file=sys.stderr)
+        if stale:
+            print("baseline is stale — rewrite it with --write-baseline",
+                  file=sys.stderr)
+    return 1 if findings or stale else 0
 
 
 def main(argv: list[str] | None = None) -> int:

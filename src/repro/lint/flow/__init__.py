@@ -1,0 +1,38 @@
+"""Semantic-analysis layer under the lint rules.
+
+``repro.lint.flow`` turns the shared per-module AST view
+(:mod:`repro.lint.model`) into the structures the flow-based rule
+families (UNIT, DET1xx, MPIS) plug into:
+
+* :mod:`~repro.lint.flow.cfg` — per-function statement-level CFGs;
+* :mod:`~repro.lint.flow.dataflow` — the generic forward
+  dataflow/taint fixpoint, reaching definitions, def-use chains;
+* :mod:`~repro.lint.flow.callgraph` — the interprocedural call graph
+  and the function-summary fixpoint.
+
+See ``docs/static-analysis.md`` for the architecture write-up.
+"""
+
+from repro.lint.flow.cfg import CFG, ENTRY, EXIT, build_cfg
+from repro.lint.flow.callgraph import (
+    CallGraph,
+    CallSite,
+    build_call_graph,
+    summary_fixpoint,
+)
+from repro.lint.flow.dataflow import (
+    ForwardAnalysis,
+    SimpleAnalysis,
+    assigned_names,
+    def_use_chains,
+    fixpoint,
+    reaching_definitions,
+    used_names,
+)
+
+__all__ = [
+    "CFG", "ENTRY", "EXIT", "build_cfg",
+    "CallGraph", "CallSite", "build_call_graph", "summary_fixpoint",
+    "ForwardAnalysis", "SimpleAnalysis", "assigned_names",
+    "def_use_chains", "fixpoint", "reaching_definitions", "used_names",
+]

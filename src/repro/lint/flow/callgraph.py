@@ -1,0 +1,136 @@
+"""Interprocedural call graph + function-summary fixpoint.
+
+The flow-based rule families need one whole-tree fact the per-module
+passes cannot see: what a *callee* does with or returns to its caller —
+the dimension a helper returns (UNIT), whether a wrapper's return value
+carries wall-clock taint (DET1xx), the unit-suffixed parameter names of
+an API (UNIT003).  This module builds that view once per lint run:
+
+* every ``def`` across all linted modules, indexed by bare name and by
+  qualified name;
+* per-function call sites with their resolved callee candidates — a
+  bare-name call resolves to same-name functions (same module
+  preferred), an attribute call (``obj.helper()``, ``mod.helper()``)
+  resolves by method name;
+* a generic :func:`summary_fixpoint` that iterates a family-supplied
+  ``summarize(fn, get)`` until summaries stabilize, so recursion and
+  wrapper chains converge instead of recursing.
+
+Resolution is deliberately name-based (no type inference): candidates
+may over-approximate, and families must treat multi-candidate calls
+conservatively (join the summaries).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.lint.model import FunctionInfo, ModuleInfo, iter_own_nodes
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function's own scope."""
+
+    call: ast.Call
+    #: bare callee name (``helper`` for both ``helper()`` and ``x.helper()``)
+    name: str
+    #: True when called as an attribute (method / module-qualified)
+    is_attribute: bool
+
+
+@dataclass
+class CallGraph:
+    """Whole-tree function index + caller→callee edges."""
+
+    #: bare name -> every function of that name across the tree
+    by_name: dict[str, list[FunctionInfo]] = field(default_factory=dict)
+    #: (module path, qualname) -> FunctionInfo
+    by_qualname: dict[tuple[str, str], FunctionInfo] = field(
+        default_factory=dict)
+    #: function key -> its call sites
+    calls: dict[tuple[str, str], list[CallSite]] = field(
+        default_factory=dict)
+    #: function key -> module it was defined in
+    module_of: dict[tuple[str, str], ModuleInfo] = field(
+        default_factory=dict)
+
+    def key(self, fn: FunctionInfo) -> tuple[str, str]:
+        return (fn.path, fn.qualname)
+
+    def functions(self) -> list[FunctionInfo]:
+        return list(self.by_qualname.values())
+
+    def resolve(self, site: CallSite,
+                caller: FunctionInfo) -> list[FunctionInfo]:
+        """Candidate callees for one call site (possibly empty).
+
+        Same-module definitions shadow same-named functions elsewhere —
+        the common case (private helpers) resolves exactly.
+        """
+        candidates = self.by_name.get(site.name, [])
+        if not candidates:
+            return []
+        local = [fn for fn in candidates if fn.path == caller.path]
+        return local or candidates
+
+
+def _call_name(call: ast.Call) -> tuple[str, bool] | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id, False
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr, True
+    return None
+
+
+def build_call_graph(modules: list[ModuleInfo]) -> CallGraph:
+    graph = CallGraph()
+    for module in modules:
+        for fn in module.functions:
+            graph.by_name.setdefault(fn.name, []).append(fn)
+            graph.by_qualname[(fn.path, fn.qualname)] = fn
+            graph.module_of[(fn.path, fn.qualname)] = module
+            sites: list[CallSite] = []
+            for node in iter_own_nodes(fn.node):
+                if isinstance(node, ast.Call):
+                    named = _call_name(node)
+                    if named is not None:
+                        name, is_attr = named
+                        sites.append(CallSite(node, name, is_attr))
+            graph.calls[(fn.path, fn.qualname)] = sites
+    return graph
+
+
+Summarize = Callable[[FunctionInfo, Callable[[FunctionInfo], Any]], Any]
+
+
+def summary_fixpoint(graph: CallGraph, summarize: Summarize,
+                     bottom: Any = None,
+                     max_rounds: int = 16) -> dict[tuple[str, str], Any]:
+    """Iterate per-function summaries to a fixpoint.
+
+    ``summarize(fn, get)`` computes one function's summary; ``get(fn)``
+    reads a callee's current summary (``bottom`` before its first
+    round).  Rounds repeat until nothing changes, so wrapper chains of
+    any depth — and cycles — converge.  Summaries must be comparable
+    with ``==`` and grow monotonically for termination.
+    """
+    summaries: dict[tuple[str, str], Any] = {
+        graph.key(fn): bottom for fn in graph.functions()
+    }
+
+    def get(fn: FunctionInfo) -> Any:
+        return summaries.get(graph.key(fn), bottom)
+
+    for _ in range(max_rounds):
+        changed = False
+        for fn in graph.functions():
+            new = summarize(fn, get)
+            if new != summaries[graph.key(fn)]:
+                summaries[graph.key(fn)] = new
+                changed = True
+        if not changed:
+            break
+    return summaries

@@ -1,0 +1,193 @@
+"""Per-function control-flow graphs at statement granularity.
+
+Every rule family in :mod:`repro.lint` that needs more than syntax —
+dimension propagation (UNIT), taint tracking (DET1xx), schedule
+enumeration (MPIS) — runs over the same CFG built here.  One graph node
+per statement keeps the transfer functions trivial (a node *is* an
+``ast.stmt``); compound statements (``if``/``for``/``while``/``try``/
+``with``) contribute a *header* node evaluating their test/iterable,
+with edges into each body.
+
+Control constructs handled:
+
+* ``if``/``elif``/``else`` — branch edges from the header; a missing
+  ``else`` falls through from the header directly.
+* ``for``/``while`` — back edge from the body exit to the header;
+  ``break`` jumps past the loop, ``continue`` back to the header; the
+  ``else`` clause hangs off the header (runs when the loop exhausts).
+* ``return``/``raise`` — edge straight to the synthetic exit node;
+  nothing falls through (the early-return tests pin this down).
+* ``try``/``except``/``finally`` — an exception may surface at any
+  statement of the ``try`` body, so every body node gets an edge to
+  each handler's entry; ``finally`` joins all exits.  This is the
+  usual conservative approximation: more paths than can execute,
+  never fewer.
+* ``with`` — a header node for the context expressions, then the body.
+
+The synthetic ``ENTRY``/``EXIT`` nodes carry no statement.  Nested
+``def``/``class`` bodies are *not* walked — a nested function is its
+own CFG (and its own scope).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+ENTRY = 0
+EXIT = 1
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    #: node id -> statement (ENTRY/EXIT map to None)
+    stmts: dict[int, ast.stmt | None] = field(
+        default_factory=lambda: {ENTRY: None, EXIT: None})
+    succ: dict[int, list[int]] = field(
+        default_factory=lambda: {ENTRY: [], EXIT: []})
+    pred: dict[int, list[int]] = field(
+        default_factory=lambda: {ENTRY: [], EXIT: []})
+
+    def add_node(self, stmt: ast.stmt) -> int:
+        nid = len(self.stmts)
+        self.stmts[nid] = stmt
+        self.succ[nid] = []
+        self.pred[nid] = []
+        return nid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succ[src]:
+            self.succ[src].append(dst)
+            self.pred[dst].append(src)
+
+    def nodes(self) -> list[int]:
+        return list(self.stmts)
+
+    def rpo(self) -> list[int]:
+        """Reverse post-order from ENTRY (good worklist seed order)."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, int]] = [(ENTRY, 0)]
+        while stack:
+            node, i = stack.pop()
+            if i == 0:
+                if node in seen:
+                    continue
+                seen.add(node)
+            succs = self.succ[node]
+            if i < len(succs):
+                stack.append((node, i + 1))
+                if succs[i] not in seen:
+                    stack.append((succs[i], 0))
+            else:
+                order.append(node)
+        return order[::-1]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (break_targets, continue_target) per enclosing loop
+        self._loops: list[tuple[list[int], int]] = []
+
+    # A "frontier" is the set of node ids whose fall-through edge is
+    # still dangling — the predecessors of whatever comes next.
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        frontier = self._stmts(body, [ENTRY])
+        for nid in frontier:
+            self.cfg.add_edge(nid, EXIT)
+        return self.cfg
+
+    def _seq(self, node: ast.stmt, frontier: list[int]) -> list[int]:
+        nid = self.cfg.add_node(node)
+        for f in frontier:
+            self.cfg.add_edge(f, nid)
+        return [nid]
+
+    def _stmts(self, body: list[ast.stmt],
+               frontier: list[int]) -> list[int]:
+        for stmt in body:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = self._seq(stmt, frontier)
+            return self._stmts(stmt.body, header)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            [nid] = self._seq(stmt, frontier)
+            self.cfg.add_edge(nid, EXIT)
+            return []
+        if isinstance(stmt, ast.Break):
+            [nid] = self._seq(stmt, frontier)
+            if self._loops:
+                self._loops[-1][0].append(nid)
+            return []
+        if isinstance(stmt, ast.Continue):
+            [nid] = self._seq(stmt, frontier)
+            if self._loops:
+                self.cfg.add_edge(nid, self._loops[-1][1])
+            return []
+        if isinstance(stmt, getattr(ast, "Match", ())):
+            return self._match(stmt, frontier)
+        # Plain statement (incl. nested def/class, treated opaquely).
+        return self._seq(stmt, frontier)
+
+    def _if(self, stmt: ast.If, frontier: list[int]) -> list[int]:
+        [header] = self._seq(stmt, frontier)
+        out = self._stmts(stmt.body, [header])
+        if stmt.orelse:
+            out = out + self._stmts(stmt.orelse, [header])
+        else:
+            out = out + [header]
+        return out
+
+    def _loop(self, stmt, frontier: list[int]) -> list[int]:
+        [header] = self._seq(stmt, frontier)
+        breaks: list[int] = []
+        self._loops.append((breaks, header))
+        body_exits = self._stmts(stmt.body, [header])
+        self._loops.pop()
+        for nid in body_exits:
+            self.cfg.add_edge(nid, header)  # back edge
+        out = self._stmts(stmt.orelse, [header]) if stmt.orelse \
+            else [header]
+        return out + breaks
+
+    def _try(self, stmt: ast.Try, frontier: list[int]) -> list[int]:
+        before = len(self.cfg.stmts)
+        body_exits = self._stmts(stmt.body, frontier)
+        body_nodes = list(range(before, len(self.cfg.stmts)))
+        out = list(body_exits)
+        for handler in stmt.handlers:
+            # An exception can surface at any try-body statement (or
+            # before the first one executes).
+            entries = (body_nodes or []) + list(frontier)
+            out.extend(self._stmts(handler.body, list(dict.fromkeys(entries))))
+        if stmt.orelse:
+            out = self._stmts(stmt.orelse, body_exits) \
+                + [n for n in out if n not in body_exits]
+        if stmt.finalbody:
+            out = self._stmts(stmt.finalbody, out or list(frontier))
+        return out
+
+    def _match(self, stmt, frontier: list[int]) -> list[int]:
+        [header] = self._seq(stmt, frontier)
+        out: list[int] = [header]  # no case may match
+        for case in stmt.cases:
+            out.extend(self._stmts(case.body, [header]))
+        return out
+
+
+def build_cfg(fnode: ast.AST) -> CFG:
+    """CFG of one ``def``'s own body (nested scopes stay opaque)."""
+    return _Builder().build(list(getattr(fnode, "body", [])))

@@ -1,0 +1,241 @@
+"""Generic forward-dataflow fixpoint over the statement CFG.
+
+One engine, many lattices: a rule family supplies a
+:class:`ForwardAnalysis` — an initial environment, a per-statement
+transfer function, and a join — and :func:`fixpoint` runs the classic
+worklist iteration to convergence.  Environments are plain
+``dict[str, value]`` maps from local names to abstract values; the
+per-key :attr:`ForwardAnalysis.merge` resolves conflicting values at
+control-flow joins (dimension conflict → unknown, taint union, …).
+
+The module also ships the one analysis every family wants for free:
+**reaching definitions** and the **def-use chains** derived from them
+(:func:`reaching_definitions`, :func:`def_use_chains`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable
+
+from repro.lint.flow.cfg import CFG, ENTRY
+
+#: hard ceiling on worklist iterations — every lattice used here has
+#: tiny height, so hitting this means a transfer function is unstable
+MAX_PASSES = 64
+
+
+#: sentinel: a name absent on one side of a join keeps the other side's
+#: value unchanged (union semantics — what a taint lattice wants)
+COPY_MISSING = object()
+
+
+class ForwardAnalysis:
+    """Interface a rule family implements to run on the engine."""
+
+    def initial(self) -> dict[str, Any]:
+        """Environment at function entry (parameter seeds live here)."""
+        return {}
+
+    def merge(self, a: Any, b: Any) -> Any:
+        """Join two abstract values bound to the same name."""
+        raise NotImplementedError
+
+    def missing(self, key: str) -> Any:
+        """Abstract value of a name *absent* on one side of a join.
+
+        Default :data:`COPY_MISSING` keeps the present side's value
+        (union semantics, right for taint).  Must-agree lattices (the
+        UNIT dimensions) return their interpretation of "unbound" so a
+        one-sided binding widens instead of leaking through the join.
+        """
+        return COPY_MISSING
+
+    def transfer(self, stmt: ast.stmt | None,
+                 env: dict[str, Any]) -> dict[str, Any]:
+        """Environment after ``stmt`` given the environment before it.
+
+        Must not mutate ``env``; return a new dict when anything
+        changes (returning ``env`` itself is fine when nothing does).
+        """
+        return env
+
+
+def join_envs(analysis: ForwardAnalysis, a: dict[str, Any] | None,
+              b: dict[str, Any] | None) -> dict[str, Any] | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    out: dict[str, Any] = {}
+    for key in sorted(set(a) | set(b)):
+        if key in a and key in b:
+            va, vb = a[key], b[key]
+            out[key] = va if va == vb else analysis.merge(va, vb)
+        else:
+            present = a[key] if key in a else b[key]
+            absent = analysis.missing(key)
+            if absent is COPY_MISSING or absent == present:
+                out[key] = present
+            else:
+                out[key] = analysis.merge(present, absent)
+    return out
+
+
+def fixpoint(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, dict]:
+    """Environment *before* each node, at the least fixpoint.
+
+    Unreachable nodes (dead code after ``return``) keep an empty
+    environment.
+    """
+    order = cfg.rpo()
+    env_in: dict[int, dict | None] = {nid: None for nid in cfg.nodes()}
+    env_in[ENTRY] = analysis.initial()
+    env_out: dict[int, dict | None] = {nid: None for nid in cfg.nodes()}
+
+    for _ in range(MAX_PASSES):
+        changed = False
+        for nid in order:
+            incoming = env_in[ENTRY] if nid == ENTRY else None
+            for pred in cfg.pred[nid]:
+                incoming = join_envs(analysis, incoming, env_out[pred])
+            if incoming is None:
+                continue
+            if incoming != env_in[nid]:
+                env_in[nid] = incoming
+                changed = True
+            out = analysis.transfer(cfg.stmts[nid], dict(incoming))
+            if out != env_out[nid]:
+                env_out[nid] = out
+                changed = True
+        if not changed:
+            break
+    return {nid: (env or {}) for nid, env in env_in.items()}
+
+
+# --------------------------------------------------------------------------
+# Reaching definitions / def-use chains
+# --------------------------------------------------------------------------
+
+def assigned_names(stmt: ast.stmt | None) -> list[str]:
+    """Names (re)bound by one statement, nested scopes excluded."""
+    if stmt is None:
+        return []
+    names: list[str] = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [item.optional_vars for item in stmt.items
+                   if item.optional_vars is not None]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        return [stmt.name]
+    elif isinstance(stmt, ast.Import):
+        return [a.asname or a.name.split(".", 1)[0] for a in stmt.names]
+    elif isinstance(stmt, ast.ImportFrom):
+        return [a.asname or a.name for a in stmt.names]
+    else:
+        targets = []
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+    # Walrus targets anywhere in the statement's expressions also bind.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target,
+                                                          ast.Name):
+            names.append(node.target.id)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> dict[int, dict[str, frozenset[int]]]:
+    """Per node: name -> set of *node ids* whose def may reach its entry."""
+    analysis = _ReachingDefsByNode(cfg)
+    return fixpoint(cfg, analysis)
+
+
+class _ReachingDefsByNode(ForwardAnalysis):
+    def __init__(self, cfg: CFG):
+        self._node_of = {id(stmt): nid for nid, stmt in cfg.stmts.items()
+                         if stmt is not None}
+
+    def merge(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, stmt, env):
+        names = assigned_names(stmt)
+        if not names:
+            return env
+        out = dict(env)
+        nid = self._node_of[id(stmt)]
+        for name in names:
+            out[name] = frozenset({nid})
+        return out
+
+
+def used_names(stmt: ast.stmt | None) -> list[str]:
+    """Names *read* by one statement (loads only, nested defs skipped)."""
+    if stmt is None:
+        return []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []
+    reads: list[str] = []
+    # Compound headers: only the controlling expression is "this node".
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        roots: list[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, ast.Try):
+        roots = []
+    else:
+        roots = [stmt]
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                reads.append(node.id)
+    return reads
+
+
+def def_use_chains(cfg: CFG) -> dict[tuple[int, str], frozenset[int]]:
+    """``(use node, name) -> reaching definition nodes``.
+
+    A pair appears only when the name is actually read at that node;
+    names never defined in the function (parameters, globals) map to
+    the empty set.
+    """
+    reach = reaching_definitions(cfg)
+    chains: dict[tuple[int, str], frozenset[int]] = {}
+    for nid, stmt in cfg.stmts.items():
+        env = reach.get(nid, {})
+        for name in used_names(stmt):
+            chains[(nid, name)] = env.get(name, frozenset())
+    return chains
+
+
+Transfer = Callable[[ast.stmt | None, dict[str, Any]], dict[str, Any]]
+
+
+class SimpleAnalysis(ForwardAnalysis):
+    """Adapter: build an analysis from plain functions (tests use it)."""
+
+    def __init__(self, transfer: Transfer, merge: Callable[[Any, Any], Any],
+                 initial: dict[str, Any] | None = None):
+        self._transfer = transfer
+        self._merge = merge
+        self._initial = dict(initial or {})
+
+    def initial(self):
+        return dict(self._initial)
+
+    def merge(self, a, b):
+        return self._merge(a, b)
+
+    def transfer(self, stmt, env):
+        return self._transfer(stmt, env)

@@ -1,0 +1,158 @@
+"""Dimension algebra + naming-convention seeds for the UNIT family.
+
+A dimension is a vector of exponents over the four base quantities the
+energy model trades in — ``(energy, time, bytes, flops)``:
+
+* joules   = ``(1, 0, 0, 0)``
+* seconds  = ``(0, 1, 0, 0)``
+* watts    = joules/second = ``(1, -1, 0, 0)``
+* bytes    = ``(0, 0, 1, 0)``
+* flops    = ``(0, 0, 0, 1)``
+* bytes/s  = ``(0, -1, 1, 0)`` (bandwidth), flops/s = ``(0, -1, 0, 1)``
+
+``None`` means *unknown* and is compatible with everything — the whole
+family is engineered to stay silent rather than guess.  Multiplication
+adds exponent vectors, division subtracts them, and addition /
+subtraction / comparison require equality; that single invariant is
+what catches W+J sums and missing ``×dt`` integrations.
+
+Dimensions are *seeded* from the repository's naming conventions
+(``pkg_energy_j``, ``idle_power_w``, ``comm_seconds``, ``wall_s``,
+``volume_bytes`` — see the suffix tables below) and from known API
+signatures, then propagated through assignments and calls by
+:mod:`repro.lint.rules_unit`.
+"""
+
+from __future__ import annotations
+
+Dim = tuple[int, int, int, int]
+
+DIMLESS: Dim = (0, 0, 0, 0)
+ENERGY: Dim = (1, 0, 0, 0)      # J
+TIME: Dim = (0, 1, 0, 0)        # s
+POWER: Dim = (1, -1, 0, 0)      # W = J/s
+BYTES: Dim = (0, 0, 1, 0)
+FLOPS: Dim = (0, 0, 0, 1)
+BANDWIDTH: Dim = (0, -1, 1, 0)  # bytes/s
+FLOPRATE: Dim = (0, -1, 0, 1)   # flops/s
+
+_NAMES = {
+    ENERGY: "J", TIME: "s", POWER: "W", BYTES: "bytes", FLOPS: "flops",
+    BANDWIDTH: "bytes/s", FLOPRATE: "flops/s", DIMLESS: "dimensionless",
+}
+
+
+def dim_name(dim: Dim | None) -> str:
+    """Human name for diagnostics (falls back to the exponent vector)."""
+    if dim is None:
+        return "unknown"
+    if dim in _NAMES:
+        return _NAMES[dim]
+    e, t, b, f = dim
+    parts = [f"{sym}^{exp}" for sym, exp in
+             (("J", e), ("s", t), ("B", b), ("flop", f)) if exp]
+    return "·".join(parts) or "dimensionless"
+
+
+def mul(a: Dim | None, b: Dim | None) -> Dim | None:
+    if a is None or b is None:
+        return None
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3])
+
+
+def div(a: Dim | None, b: Dim | None) -> Dim | None:
+    if a is None or b is None:
+        return None
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3])
+
+
+def join(a: Dim | None, b: Dim | None) -> Dim | None:
+    """Control-flow join: agree or give up (never guess)."""
+    return a if a == b else None
+
+
+# --------------------------------------------------------------------------
+# Naming-convention seeds
+# --------------------------------------------------------------------------
+
+#: identifier suffix -> dimension (checked on the lowercased name;
+#: longest suffix wins so ``_bytes_per_s`` beats ``_s``)
+SUFFIX_DIMS: dict[str, Dim] = {
+    "_j": ENERGY, "_joules": ENERGY, "_uj": ENERGY, "_energy": ENERGY,
+    "_w": POWER, "_watts": POWER, "_power": POWER, "_tdp": POWER,
+    "_s": TIME, "_sec": TIME, "_secs": TIME, "_seconds": TIME,
+    "_ms": TIME, "_us": TIME, "_ns": TIME, "_duration": TIME,
+    "_bytes": BYTES, "_nbytes": BYTES,
+    "_flops": FLOPS, "_flop": FLOPS,
+    "_bps": BANDWIDTH, "_bytes_per_s": BANDWIDTH, "_bw": BANDWIDTH,
+    "_flops_per_s": FLOPRATE,
+}
+
+#: exact identifier -> dimension (conventional bare spellings)
+EXACT_DIMS: dict[str, Dim] = {
+    "joules": ENERGY, "energy": ENERGY,
+    "watts": POWER, "power": POWER, "tdp": POWER,
+    "seconds": TIME, "duration": TIME, "elapsed": TIME, "dt": TIME,
+    "nbytes": BYTES,
+    "flops": FLOPS,
+    "bandwidth": BANDWIDTH,
+}
+
+#: suffixes that *look* dimensioned but are not (guard before SUFFIX_DIMS)
+_VETO_SUFFIXES = (
+    "_vs", "_as", "_is", "_this", "_args", "_kwargs", "_res",
+    "_axis", "_pos", "_ids", "_class", "_bias", "_status", "_address",
+)
+
+
+#: bare unit token (the part after ``_per_``) -> dimension
+_UNIT_TOKENS: dict[str, Dim] = {
+    "j": ENERGY, "joule": ENERGY, "joules": ENERGY,
+    "s": TIME, "sec": TIME, "second": TIME, "seconds": TIME,
+    "w": POWER, "watt": POWER, "watts": POWER,
+    "byte": BYTES, "bytes": BYTES,
+    "flop": FLOPS, "flops": FLOPS,
+}
+
+
+def dim_of_name(name: str | None) -> Dim | None:
+    """Dimension an identifier *declares* via naming convention."""
+    if not name:
+        return None
+    lowered = name.lower()
+    if lowered in EXACT_DIMS:
+        return EXACT_DIMS[lowered]
+    if lowered.endswith(_VETO_SUFFIXES):
+        return None
+    # Compound rates: ``dram_bytes_per_flop`` = bytes/flop, ``j_per_s`` = W.
+    if "_per_" in lowered:
+        head, _, denom = lowered.rpartition("_per_")
+        num_dim = _UNIT_TOKENS.get(head) or dim_of_name(head)
+        den_dim = _UNIT_TOKENS.get(denom)
+        if num_dim is not None and den_dim is not None:
+            return div(num_dim, den_dim)
+        return None
+    best: tuple[int, Dim] | None = None
+    for suffix, dim in SUFFIX_DIMS.items():
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
+            if best is None or len(suffix) > best[0]:
+                best = (len(suffix), dim)
+    return best[1] if best else None
+
+
+#: canonical dotted callables with known return dimensions (seeds for
+#: code outside the linted tree; in-tree functions get summaries)
+KNOWN_RETURN_DIMS: dict[str, Dim] = {
+    "time.perf_counter": TIME, "time.monotonic": TIME, "time.time": TIME,
+    "time.process_time": TIME,
+}
+
+#: numpy/builtin reductions and elementwise wrappers that preserve the
+#: dimension of their first argument
+PASSTHROUGH_CALLS = frozenset({
+    "abs", "float", "round", "sum", "min", "max", "sorted",
+})
+PASSTHROUGH_NUMPY = frozenset({
+    "sum", "abs", "maximum", "minimum", "max", "min", "mean", "median",
+    "cumsum", "asarray", "array", "float64", "round", "clip",
+})

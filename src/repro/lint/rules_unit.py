@@ -1,0 +1,441 @@
+"""UNIT00x — dimensional analysis of energy/power/time/bytes/flops.
+
+The energy model's worst silent bugs are unit mistakes: adding watts to
+joules, accumulating instantaneous power into an energy total without
+the ``× dt`` integration step, swapping a seconds argument for a bytes
+one.  All three produce plausible numbers and survive every runtime
+equivalence suite, because both engines make the *same* mistake.
+
+These rules type every expression with a dimension vector
+(:mod:`repro.lint.flow.units`), seeded from the repository's naming
+conventions (``*_j``, ``*_w``, ``*_seconds``, ``*_bytes``, ``*_flops``
+…) and from known API signatures, and propagated forward through
+assignments (CFG dataflow) and calls (call-graph return summaries):
+
+* **UNIT001** — mixed-dimension arithmetic: ``+``/``-``/comparison
+  between operands of different known dimensions (W + J, s < bytes).
+* **UNIT002** — power↔energy confusion: an energy-named binding
+  assigned or accumulated from a power-dimensioned value (or vice
+  versa) — the missing/spurious ``× dt`` integration.
+* **UNIT003** — a unit-suffixed name bound to a value of a *different*
+  known dimension: assignments, keyword arguments (``seconds=nbytes``),
+  positional arguments matched against unit-suffixed parameter names
+  of functions defined in the tree, and a ``return`` whose value
+  contradicts the function's own unit-suffixed name.
+
+Unknown dimensions are compatible with everything: the family never
+guesses, so dimensionless code stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.flow import units
+from repro.lint.flow.callgraph import CallGraph, summary_fixpoint
+from repro.lint.flow.cfg import build_cfg
+from repro.lint.flow.dataflow import ForwardAnalysis, fixpoint
+from repro.lint.flow.units import Dim, dim_name, dim_of_name
+from repro.lint.model import FunctionInfo, ModuleInfo
+
+_POWER_ENERGY = {units.POWER, units.ENERGY}
+
+
+def _param_names(fn: FunctionInfo) -> list[str]:
+    args = fn.node.args
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+def _seed_env(fn: FunctionInfo) -> dict[str, Dim]:
+    env: dict[str, Dim] = {}
+    for name in _param_names(fn):
+        dim = dim_of_name(name)
+        if dim is not None:
+            env[name] = dim
+    return env
+
+
+class _DimEval:
+    """Evaluate the dimension of an expression under an environment.
+
+    ``report`` (when set) receives UNIT001 mixed-dimension arithmetic
+    as it is discovered; summary computation passes ``report=None``.
+    """
+
+    def __init__(self, module: ModuleInfo, graph: CallGraph | None,
+                 caller: FunctionInfo | None,
+                 return_dim_of, env: dict[str, Dim],
+                 report=None):
+        self.module = module
+        self.graph = graph
+        self.caller = caller
+        self.return_dim_of = return_dim_of
+        self.env = env
+        self.report = report
+
+    def dim(self, expr: ast.expr) -> Dim | None:
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            return dim_of_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return dim_of_name(expr.attr)
+        if isinstance(expr, ast.Constant):
+            return None  # literals may carry any implicit unit
+        if isinstance(expr, ast.UnaryOp):
+            return self.dim(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr)
+        if isinstance(expr, ast.Compare):
+            self._compare(expr)
+            return None  # booleans are dimensionless
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self.dim(value)
+            return None
+        if isinstance(expr, ast.IfExp):
+            self.dim(expr.test)
+            return units.join(self.dim(expr.body), self.dim(expr.orelse))
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Subscript):
+            self.dim(expr.slice)
+            return self.dim(expr.value)  # element shares the array's dim
+        if isinstance(expr, ast.Starred):
+            return self.dim(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for elt in expr.elts:
+                self.dim(elt)
+            return None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.dim(expr.elt)
+        return None
+
+    def _binop(self, expr: ast.BinOp) -> Dim | None:
+        left, right = self.dim(expr.left), self.dim(expr.right)
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                if self.report is not None:
+                    self.report(expr, left, right)
+                return None
+            return left if left is not None else right
+        if isinstance(expr.op, ast.Mult):
+            return units.mul(left, right)
+        if isinstance(expr.op, (ast.Div, ast.FloorDiv)):
+            return units.div(left, right)
+        if isinstance(expr.op, ast.Mod):
+            return left
+        if isinstance(expr.op, ast.Pow):
+            if left is not None and isinstance(expr.right, ast.Constant) \
+                    and isinstance(expr.right.value, int):
+                k = expr.right.value
+                return (left[0] * k, left[1] * k, left[2] * k, left[3] * k)
+            return None
+        return None
+
+    def _compare(self, expr: ast.Compare) -> None:
+        dims = [self.dim(expr.left)] + [self.dim(c) for c in expr.comparators]
+        ops_ok = all(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                     ast.Eq, ast.NotEq)) for op in expr.ops)
+        if not ops_ok or self.report is None:
+            return
+        known = [(i, d) for i, d in enumerate(dims) if d is not None]
+        for (_, a), (_, b) in zip(known, known[1:]):
+            if a != b:
+                self.report(expr, a, b)
+                return
+
+    def _call(self, call: ast.Call) -> Dim | None:
+        for arg in call.args:
+            self.dim(arg)
+        for kw in call.keywords:
+            self.dim(kw.value)
+        canonical = self.module.canonical(call.func)
+        if canonical is not None:
+            if canonical in units.KNOWN_RETURN_DIMS:
+                return units.KNOWN_RETURN_DIMS[canonical]
+            if canonical.startswith("numpy."):
+                leaf = canonical.rsplit(".", 1)[1]
+                if leaf in units.PASSTHROUGH_NUMPY and call.args:
+                    return self.dim(call.args[0])
+        if isinstance(call.func, ast.Name):
+            if call.func.id in units.PASSTHROUGH_CALLS and call.args:
+                return self.dim(call.args[0])
+        name = None
+        if isinstance(call.func, ast.Name):
+            name = call.func.id
+        elif isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        if name is None:
+            return None
+        summary = self._summary_dim(name)
+        if summary is not None:
+            return summary
+        return dim_of_name(name)
+
+    def _summary_dim(self, name: str) -> Dim | None:
+        if self.graph is None or self.return_dim_of is None:
+            return None
+        candidates = self.graph.by_name.get(name, [])
+        if self.caller is not None:
+            local = [fn for fn in candidates if fn.path == self.caller.path]
+            candidates = local or candidates
+        dims = {self.return_dim_of(fn) for fn in candidates}
+        if len(dims) == 1:
+            return dims.pop()
+        return None
+
+
+class _UnitAnalysis(ForwardAnalysis):
+    """Forward propagation of dimensions through local assignments."""
+
+    def __init__(self, module: ModuleInfo, graph: CallGraph | None,
+                 fn: FunctionInfo, return_dim_of):
+        self.module = module
+        self.graph = graph
+        self.fn = fn
+        self.return_dim_of = return_dim_of
+
+    def initial(self):
+        return _seed_env(self.fn)
+
+    def merge(self, a, b):
+        return units.join(a, b)
+
+    def missing(self, key):
+        # An unbound name falls back to its naming convention; joining
+        # a one-sided binding against that widens conflicts to unknown.
+        return dim_of_name(key)
+
+    def transfer(self, stmt, env):
+        if stmt is None:
+            return env
+        evaluator = _DimEval(self.module, self.graph, self.fn,
+                             self.return_dim_of, env)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            if stmt.value is None:
+                return env
+            dim = evaluator.dim(stmt.value)
+            out = dict(env)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    declared = dim_of_name(target.id)
+                    known = declared if declared is not None else dim
+                    # Never bind None: an explicit "unknown" would
+                    # shadow the naming-convention fallback in _DimEval.
+                    if known is not None:
+                        out[target.id] = known
+                    else:
+                        out.pop(target.id, None)
+            return out
+        if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+                and isinstance(stmt.target, ast.Name):
+            dim = evaluator.dim(stmt.iter)
+            declared = dim_of_name(stmt.target.id)
+            known = declared if declared is not None else dim
+            out = dict(env)
+            if known is not None:
+                out[stmt.target.id] = known
+            else:
+                out.pop(stmt.target.id, None)
+            return out
+        return env
+
+
+def _expr_roots(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a CFG node evaluates itself (headers: test only)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []
+    roots: list[ast.expr] = []
+    for field_value in ast.iter_child_nodes(stmt):
+        if isinstance(field_value, ast.expr):
+            roots.append(field_value)
+    return roots
+
+
+def build_context(modules: list[ModuleInfo], graph: CallGraph):
+    """Whole-tree UNIT context: return-dimension summaries per function."""
+    module_by_path = {m.path: m for m in modules}
+
+    def summarize(fn: FunctionInfo, get):
+        module = module_by_path.get(fn.path)
+        if module is None:
+            return None
+        env = _seed_env(fn)
+        evaluator = _DimEval(module, graph, fn,
+                             lambda callee: get(callee), env)
+        result: Dim | None = None
+        seen = False
+        from repro.lint.model import iter_own_nodes
+
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                dim = evaluator.dim(node.value)
+                result = dim if not seen else units.join(result, dim)
+                seen = True
+        if result is None:
+            return dim_of_name(fn.name)
+        return result
+
+    return summary_fixpoint(graph, summarize)
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(
+        path=module.path,
+        line=node.lineno,
+        col=node.col_offset + 1,
+        rule=rule,
+        message=message,
+        text=module.line_text(node.lineno),
+    )
+
+
+def _target_name(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Subscript):
+        return _target_name(target.value)
+    return None
+
+
+def _binding_mismatch(module: ModuleInfo, node: ast.AST, label: str,
+                      declared: Dim, value: Dim) -> Finding:
+    if {declared, value} == _POWER_ENERGY:
+        hint = ("multiply by the interval (power × dt) to integrate"
+                if declared == units.ENERGY
+                else "divide by the interval (energy / dt)")
+        return _finding(
+            module, node, "UNIT002",
+            f"{label} is {dim_name(declared)}-named but receives a "
+            f"{dim_name(value)} value; {hint}",
+        )
+    return _finding(
+        module, node, "UNIT003",
+        f"{label} declares {dim_name(declared)} but receives "
+        f"{dim_name(value)}",
+    )
+
+
+def _check_call_args(module: ModuleInfo, graph: CallGraph | None,
+                     caller: FunctionInfo, evaluator: _DimEval,
+                     call: ast.Call, findings: list[Finding]) -> None:
+    for kw in call.keywords:
+        if kw.arg is None:
+            continue
+        declared = dim_of_name(kw.arg)
+        if declared is None:
+            continue
+        value = evaluator.dim(kw.value)
+        if value is not None and value != declared:
+            findings.append(_binding_mismatch(
+                module, kw.value, f"keyword argument '{kw.arg}'",
+                declared, value))
+    if graph is None or not isinstance(call.func, (ast.Name, ast.Attribute)):
+        return
+    name = call.func.id if isinstance(call.func, ast.Name) \
+        else call.func.attr
+    candidates = graph.by_name.get(name, [])
+    local = [fn for fn in candidates if fn.path == caller.path]
+    candidates = local or candidates
+    if not candidates:
+        return
+    is_method = isinstance(call.func, ast.Attribute)
+    expected: list[tuple[str, Dim] | None] | None = None
+    for fn in candidates:
+        params = _param_names(fn)
+        if is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        row = [(p, dim_of_name(p)) for p in params]
+        if expected is None:
+            expected = row
+        elif expected != row:
+            return  # ambiguous overload set: stay silent
+    if expected is None:
+        return
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred) or i >= len(expected):
+            break
+        pname, declared = expected[i]
+        if declared is None:
+            continue
+        value = evaluator.dim(arg)
+        if value is not None and value != declared:
+            findings.append(_binding_mismatch(
+                module, arg, f"argument {i + 1} ('{pname}' of '{name}')",
+                declared, value))
+
+
+def check(module: ModuleInfo, graph: CallGraph | None = None,
+          return_dims=None) -> list[Finding]:
+    findings: list[Finding] = []
+    return_dim_of = None
+    if return_dims is not None and graph is not None:
+        return_dim_of = lambda fn: return_dims.get(graph.key(fn))  # noqa: E731
+
+    for fn in module.functions:
+        cfg = build_cfg(fn.node)
+        analysis = _UnitAnalysis(module, graph, fn, return_dim_of)
+        envs = fixpoint(cfg, analysis)
+        fn_declared = dim_of_name(fn.name)
+
+        for nid, stmt in cfg.stmts.items():
+            if stmt is None:
+                continue
+            env = envs.get(nid, {})
+
+            def report(expr, a, b, _module=module):
+                findings.append(_finding(
+                    _module, expr, "UNIT001",
+                    f"arithmetic mixes {dim_name(a)} and {dim_name(b)}; "
+                    "these quantities cannot be added or compared",
+                ))
+
+            evaluator = _DimEval(module, graph, fn, return_dim_of, env,
+                                 report=report)
+            for root in _expr_roots(stmt):
+                evaluator.dim(root)
+            quiet = _DimEval(module, graph, fn, return_dim_of, env)
+
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)) \
+                    and stmt.value is not None:
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                value = quiet.dim(stmt.value)
+                if value is not None:
+                    for target in targets:
+                        name = _target_name(target)
+                        declared = dim_of_name(name)
+                        if declared is not None and value != declared:
+                            findings.append(_binding_mismatch(
+                                module, stmt, f"'{name}'", declared, value))
+            if isinstance(stmt, ast.Return) and stmt.value is not None \
+                    and fn_declared is not None:
+                value = quiet.dim(stmt.value)
+                if value is not None and value != fn_declared:
+                    findings.append(_binding_mismatch(
+                        module, stmt, f"return of '{fn.qualname}'",
+                        fn_declared, value))
+            for root in _expr_roots(stmt):
+                for sub in ast.walk(root):
+                    if isinstance(sub, ast.Call):
+                        _check_call_args(module, graph, fn, quiet, sub,
+                                         findings)
+    # One defect often surfaces through several nodes; report each site once.
+    unique = {(f.line, f.col, f.rule, f.message): f for f in findings}
+    return list(unique.values())

@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 output for CI annotation upload.
+
+One run, one driver (``repro-lint``), rule metadata straight from the
+registry so GitHub's code-scanning UI shows each rule's summary and
+rationale next to the annotated line.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding
+from repro.lint.registry import RULES, RULES_BY_ID
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptor(spec) -> dict:
+    return {
+        "id": spec.id,
+        "shortDescription": {"text": spec.summary},
+        "fullDescription": {"text": spec.rationale},
+        "help": {
+            "text": (f"{spec.rationale}\n\nViolates:\n{spec.bad}\n"
+                     f"Fixed:\n{spec.good}"),
+        },
+        "properties": {"family": spec.family},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    region: dict = {"startLine": finding.line,
+                    "startColumn": max(finding.col, 1)}
+    if finding.text:
+        region["snippet"] = {"text": finding.text}
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": region,
+            },
+        }],
+    }
+
+
+def to_sarif(findings: list[Finding], *, tool_version: str = "1.0.0") -> dict:
+    """The findings as one SARIF 2.1.0 log object (JSON-serializable)."""
+    used = {f.rule for f in findings}
+    rules = [_rule_descriptor(spec) for spec in RULES]
+    # Rules the registry does not know (should not happen; belt and
+    # braces for forward compatibility) still need a descriptor.
+    rules.extend({"id": rule, "shortDescription": {"text": rule}}
+                 for rule in sorted(used - set(RULES_BY_ID)))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/docs/static-analysis.md",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": [_result(f) for f in findings],
+        }],
+    }

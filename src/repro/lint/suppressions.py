@@ -2,16 +2,22 @@
 
 A finding is suppressed when an allow comment naming its rule (or the
 whole family, e.g. ``DET`` covers ``DET001``/``DET002``/``DET003``)
-appears either on the reported line itself or on a comment-only line
-directly above it::
+appears on the reported line itself, or on a comment-only line above
+it, or anywhere in the decorator/comment block directly above a
+flagged ``def``::
 
     t0 = time.perf_counter()  # repro: allow[DET001] -- wall-clock bench
 
     # repro: allow[SIM001] -- driven indirectly by the harness
     comm.barrier()
 
-Several rules can share one comment: ``# repro: allow[DET001,DET002]``.
-Anything after ``--`` is a free-form reason (encouraged, never parsed).
+    @cached  # repro: allow[DET101] -- cache key, not a modeled value
+    def stamp():
+        ...
+
+Several rules can share one comment: ``# repro: allow[DET001,DET002]``
+(spaces after the comma are fine).  Anything after ``--`` is a
+free-form reason (encouraged, never parsed).
 """
 
 from __future__ import annotations
@@ -20,19 +26,33 @@ import re
 
 _ALLOW = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 
+#: how far a comment-only / decorator-line allow reaches forward while
+#: looking for the statement it annotates
+_MAX_REACH = 20
+
 
 def collect_suppressions(source: str) -> dict[int, frozenset[str]]:
     """Map 1-based line numbers to the rule ids suppressed there."""
+    lines = source.splitlines()
     suppressed: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
+    for idx, line in enumerate(lines):
         match = _ALLOW.search(line)
         if match is None:
             continue
-        rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
-        suppressed.setdefault(lineno, set()).update(rules)
-        if line.lstrip().startswith("#"):
-            # A comment-only allow line covers the statement below it.
-            suppressed.setdefault(lineno + 1, set()).update(rules)
+        rules = {r.strip().upper() for r in match.group(1).split(",")
+                 if r.strip()}
+        suppressed.setdefault(idx + 1, set()).update(rules)
+        stripped = line.lstrip()
+        if not (stripped.startswith("#") or stripped.startswith("@")):
+            continue
+        # A comment-only or decorator-line allow covers everything down
+        # to (and including) the first real statement below it — so an
+        # allow above (or on) a decorator reaches the flagged ``def``.
+        for j in range(idx + 1, min(idx + 1 + _MAX_REACH, len(lines))):
+            suppressed.setdefault(j + 1, set()).update(rules)
+            nxt = lines[j].lstrip()
+            if nxt and not nxt.startswith("#") and not nxt.startswith("@"):
+                break
     return {line: frozenset(rules) for line, rules in suppressed.items()}
 
 

@@ -57,14 +57,16 @@ def _callsite() -> str:
 class _CollRecord:
     """First-arriving rank's view of one (cid, seq) collective slot."""
 
-    __slots__ = ("op", "root", "rank", "site", "arrived")
+    __slots__ = ("op", "root", "rank", "site", "arrived", "size")
 
-    def __init__(self, op: str, root: int | None, rank: int, site: str):
+    def __init__(self, op: str, root: int | None, rank: int, site: str,
+                 size: int = 0):
         self.op = op
         self.root = root
         self.rank = rank
         self.site = site
         self.arrived = 1
+        self.size = size
 
 
 class Sanitizer:
@@ -92,7 +94,7 @@ class Sanitizer:
         record = self._pending.get(key)
         if record is None:
             self._pending[key] = _CollRecord(op, root, comm.rank,
-                                             _callsite())
+                                             _callsite(), comm.size)
             if comm.size == 1:
                 del self._pending[key]
             return
@@ -140,6 +142,21 @@ class Sanitizer:
             listing = "\n".join(f"  - {leak}" for leak in leaks)
             raise MessageLeakError(
                 f"run finished with {len(leaks)} protocol leak(s):\n{listing}"
+            )
+        # A collective slot still pending at quiescence means a subset of
+        # ranks posted a collective the rest never joined — e.g. a root
+        # whose bcast sends complete unilaterally while a worker already
+        # returned.  Nothing is blocked, so only this check can see it.
+        if self._pending:
+            (cid, seq), record = sorted(self._pending.items())[0]
+            rooted = "" if record.root is None else f"(root={record.root})"
+            raise CollectiveMismatchError(
+                f"run finished with collective #{seq} on communicator "
+                f"{cid} incomplete: {record.op}{rooted} was entered by "
+                f"{record.arrived} of {record.size} rank(s) (first was "
+                f"rank {record.rank} at {record.site}); every rank of "
+                "the communicator must execute the same collective "
+                "sequence"
             )
 
     # ---------------------------------------------------------- deadlock

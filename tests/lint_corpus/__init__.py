@@ -1,0 +1,9 @@
+"""Seeded-defect corpus for the semantic lint families.
+
+Every rule has a ``<ruleid>_defect.py`` module planting exactly the
+bug the rule exists for, and a ``<ruleid>_twin.py`` module doing the
+*nearly identical but correct* thing.  ``tests/test_lint_corpus.py``
+asserts the defect is flagged, the twin is clean under every new
+family, and — for the MPIS programs — that the static verdict agrees
+with the runtime sanitizer.
+"""

@@ -1,0 +1,16 @@
+"""DET101 defect: wall-clock measurement laundered through a helper."""
+
+import time
+
+
+def _stamp() -> float:
+    return time.perf_counter()
+
+
+def measured_step(ctx, payload):
+    t0 = _stamp()
+    payload.process()
+    # Planted bug: the modeled duration is host wall-clock time that
+    # reached the sink through the helper, not a derived quantity.
+    step_s = _stamp() - t0
+    return step_s

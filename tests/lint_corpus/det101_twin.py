@@ -1,0 +1,16 @@
+"""DET101 twin: wall-clock read used for logging only; the modeled
+duration comes from the performance model."""
+
+import time
+
+
+def _stamp() -> float:
+    return time.perf_counter()
+
+
+def measured_step(ctx, payload, model_s: float):
+    t0 = _stamp()
+    payload.process()
+    ctx.log("host-side step took", _stamp() - t0)
+    step_s = model_s
+    return step_s

@@ -1,0 +1,10 @@
+"""DET102 defect: energy folded in set iteration order."""
+
+
+def total_energy(per_node: dict) -> float:
+    total_j = 0.0
+    # Planted bug: the fold visits nodes in hash order, so the float
+    # accumulation differs between PYTHONHASHSEED values.
+    for node in set(per_node):
+        total_j += per_node[node]
+    return total_j

@@ -1,0 +1,8 @@
+"""DET102 twin: the same fold with the iteration order pinned."""
+
+
+def total_energy(per_node: dict) -> float:
+    total_j = 0.0
+    for node in sorted(set(per_node)):
+        total_j += per_node[node]
+    return total_j

@@ -1,0 +1,18 @@
+"""MPIS001 defect: the halves of an exchange disagree on the tag.
+
+Rank 0 posts tag 7; rank 1 waits on tag 9 — the message is never
+consumed and rank 1 parks forever.  Runnable under the sanitizer.
+"""
+
+TAG_SENT = 7
+TAG_WAITED = 9
+
+
+def program(comm):
+    rank = comm.rank
+    if rank == 0:
+        yield from comm.send(b"panel", dest=1, tag=7)
+    if rank == 1:
+        panel = yield from comm.recv(source=0, tag=9)
+        return panel
+    return None

@@ -1,0 +1,11 @@
+"""MPIS001 twin: the identical exchange with agreeing tags."""
+
+
+def program(comm):
+    rank = comm.rank
+    if rank == 0:
+        yield from comm.send(b"panel", dest=1, tag=7)
+    if rank == 1:
+        panel = yield from comm.recv(source=0, tag=7)
+        return panel
+    return None

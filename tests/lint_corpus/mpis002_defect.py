@@ -1,0 +1,15 @@
+"""MPIS002 defect: the root runs a collective the workers never post.
+
+Every rank reduces, but only rank 0 follows with the bcast — the
+workers have moved on and the broadcast can never complete.
+"""
+
+
+def program(comm):
+    rank = comm.rank
+    if rank == 0:
+        total = yield from comm.reduce(1.0, root=0)
+        value = yield from comm.bcast(total, root=0)
+        return value
+    total = yield from comm.reduce(1.0, root=0)
+    return total

@@ -1,0 +1,13 @@
+"""MPIS002 twin: the same shape with a symmetric collective schedule —
+the worker arm returns early but posts the identical sequence first."""
+
+
+def program(comm):
+    rank = comm.rank
+    if rank != 0:
+        total = yield from comm.reduce(1.0, root=0)
+        value = yield from comm.bcast(total, root=0)
+        return value
+    total = yield from comm.reduce(1.0, root=0)
+    value = yield from comm.bcast(total, root=0)
+    return value

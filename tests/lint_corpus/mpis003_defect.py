@@ -1,0 +1,14 @@
+"""MPIS003 defect: rank 0 blocking-sends to its own rank.
+
+No other process can post the matching receive — the send can never
+complete and the run deadlocks.
+"""
+
+
+def program(comm):
+    rank = comm.rank
+    if rank == 0:
+        yield from comm.send(b"ping", dest=0, tag=1)
+    if rank == 1:
+        yield from comm.recv(source=0, tag=1)
+    return None

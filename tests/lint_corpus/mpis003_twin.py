@@ -1,0 +1,10 @@
+"""MPIS003 twin: the identical exchange addressed to the peer rank."""
+
+
+def program(comm):
+    rank = comm.rank
+    if rank == 0:
+        yield from comm.send(b"ping", dest=1, tag=1)
+    if rank == 1:
+        yield from comm.recv(source=0, tag=1)
+    return None

@@ -1,0 +1,7 @@
+"""UNIT001 defect: adds watts to joules when estimating a node budget."""
+
+
+def node_budget(idle_power_w: float, node_energy_j: float) -> float:
+    # Planted bug: W + J — the idle draw was never integrated over the
+    # interval, so the sum mixes dimensions.
+    return idle_power_w + node_energy_j

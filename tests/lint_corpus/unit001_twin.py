@@ -1,0 +1,7 @@
+"""UNIT001 twin: the same budget with the idle draw integrated first."""
+
+
+def node_budget(idle_power_w: float, node_energy_j: float,
+                dt: float) -> float:
+    idle_j = idle_power_w * dt
+    return idle_j + node_energy_j

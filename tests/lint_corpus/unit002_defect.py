@@ -1,0 +1,10 @@
+"""UNIT002 defect: accumulates a power sample into an energy total."""
+
+
+def integrate(samples_w: list, dt: float) -> float:
+    total_j = 0.0
+    for pkg_w in samples_w:
+        # Planted bug: the sample is W; the missing "* dt" makes the
+        # total numerically plausible and dimensionally wrong.
+        total_j += pkg_w
+    return total_j

@@ -1,0 +1,8 @@
+"""UNIT002 twin: the same accumulation with the time integration."""
+
+
+def integrate(samples_w: list, dt: float) -> float:
+    total_j = 0.0
+    for pkg_w in samples_w:
+        total_j += pkg_w * dt
+    return total_j

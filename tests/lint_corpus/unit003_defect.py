@@ -1,0 +1,11 @@
+"""UNIT003 defect: swapped keyword arguments at a unit-typed call."""
+
+
+def bandwidth(seconds: float, nbytes: float) -> float:
+    return nbytes / seconds
+
+
+def effective_rate(wall_s: float, volume_bytes: float) -> float:
+    # Planted bug: the arguments are crossed — seconds receives bytes
+    # and bytes receives seconds.
+    return bandwidth(seconds=volume_bytes, nbytes=wall_s)

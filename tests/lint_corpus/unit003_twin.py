@@ -1,0 +1,9 @@
+"""UNIT003 twin: the same call with the arguments the right way round."""
+
+
+def bandwidth(seconds: float, nbytes: float) -> float:
+    return nbytes / seconds
+
+
+def effective_rate(wall_s: float, volume_bytes: float) -> float:
+    return bandwidth(seconds=wall_s, nbytes=volume_bytes)

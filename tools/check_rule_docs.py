@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Keep the rule table in docs/static-analysis.md in sync with the
+rule registry (``repro.lint.registry.RULES``).
+
+The table lives between the ``<!-- rule-table:begin -->`` and
+``<!-- rule-table:end -->`` markers and is generated, never hand-edited.
+``--check`` (the default, run by ``make docs-check``) fails when the
+committed table differs from the registry; ``--write`` regenerates it
+in place:
+
+    python tools/check_rule_docs.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint.registry import RULES  # noqa: E402
+
+DOC = REPO / "docs" / "static-analysis.md"
+BEGIN = "<!-- rule-table:begin -->"
+END = "<!-- rule-table:end -->"
+
+
+def render_table() -> str:
+    lines = [
+        "| Rule | Family | Checks |",
+        "| --- | --- | --- |",
+    ]
+    for spec in RULES:
+        summary = spec.summary.replace("|", "\\|")
+        lines.append(f"| `{spec.id}` | {spec.family} | {summary} |")
+    return "\n".join(lines)
+
+
+def splice(text: str) -> str:
+    try:
+        head, rest = text.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"{DOC.relative_to(REPO)}: rule-table markers missing or "
+            f"malformed (need one {BEGIN} … {END} pair)"
+        )
+    return f"{head}{BEGIN}\n{render_table()}\n{END}{tail}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate the table in place")
+    args = parser.parse_args()
+
+    current = DOC.read_text(encoding="utf-8")
+    desired = splice(current)
+    if args.write:
+        if desired != current:
+            DOC.write_text(desired, encoding="utf-8")
+            print(f"rewrote rule table in {DOC.relative_to(REPO)}")
+        else:
+            print("rule table already up to date")
+        return 0
+    if desired != current:
+        print(
+            f"{DOC.relative_to(REPO)}: rule table is out of date with "
+            "repro.lint.registry.RULES — regenerate with\n"
+            "    python tools/check_rule_docs.py --write",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"rule table in sync ({len(RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
