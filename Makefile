@@ -50,11 +50,17 @@ bench-paper:
 	PYTHONPATH=src python tools/bench_sim.py --skeleton --check --write
 
 # Per-point speedup deltas of the working-tree BENCH_simperf.json
-# against the committed (HEAD) one.
+# against the committed (HEAD) one.  On branches whose HEAD predates
+# the baseline file there is nothing to diff against — skip cleanly
+# instead of surfacing git's pathspec error.
 bench-diff:
-	@git show HEAD:BENCH_simperf.json > .bench_base.json
-	python tools/bench_compare.py .bench_base.json BENCH_simperf.json
-	@rm -f .bench_base.json
+	@if git cat-file -e HEAD:BENCH_simperf.json 2>/dev/null; then \
+		git show HEAD:BENCH_simperf.json > .bench_base.json; \
+		python tools/bench_compare.py .bench_base.json BENCH_simperf.json; \
+		rm -f .bench_base.json; \
+	else \
+		echo "no baseline at HEAD, skipping"; \
+	fi
 
 # Regenerate every table/figure series into benchmarks/results/
 figures:

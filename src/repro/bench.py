@@ -83,7 +83,16 @@ DEFAULT_POINTS: tuple[BenchPoint, ...] = (
 PAPER_SKELETON_POINTS: tuple[BenchPoint, ...] = (
     BenchPoint("ime-xskel", 34560, 144, modes=("fast",), machine="marconi"),
     BenchPoint("ime-xskel", 34560, 576, modes=("fast",), machine="marconi"),
+    BenchPoint("ime-xskel", 34560, 1296, modes=("fast",), machine="marconi"),
+    BenchPoint("ime-xskel", 34560, 2304, modes=("fast",), machine="marconi"),
+    BenchPoint("ime-xskel", 34560, 3188, modes=("fast",), machine="marconi"),
     BenchPoint("scalapack-xskel", 34560, 144, nb=64, modes=("fast",),
+               machine="marconi"),
+    BenchPoint("scalapack-xskel", 34560, 1296, nb=64, modes=("fast",),
+               machine="marconi"),
+    BenchPoint("scalapack-xskel", 34560, 2304, nb=64, modes=("fast",),
+               machine="marconi"),
+    BenchPoint("scalapack-xskel", 34560, 3188, nb=64, modes=("fast",),
                machine="marconi"),
 )
 
@@ -140,13 +149,20 @@ def _make_program(point: BenchPoint, system):
 
 
 def run_point(point: BenchPoint, mode: str, seed: int = 0,
-              repeats: int = 1) -> dict:
+              repeats: int = 1, shards: int = 1) -> dict:
     """Time one end-to-end job; returns wall/virtual/traffic/energy.
 
     ``repeats`` > 1 reports the best-of-k wall time (standard benchmark
     practice — the minimum is the least noise-contaminated estimate of
     the code's speed).  The simulated quantities are deterministic and
     identical across repeats; only the wall clock varies.
+
+    ``shards`` > 1 additionally times the same point space-parallelized
+    across shard workers (:mod:`repro.simmpi.shard`), asserts the
+    sharded run's modeled quantities are identical to the
+    single-process run, and records ``sharded_wall_s`` /
+    ``shard_speedup`` / per-worker ``shard_walls`` next to the
+    single-process ``wall_s``.
 
     ``maxrss_kb`` records the process peak RSS *after* the point ran —
     a high-water mark, so per-point deltas in a suite are upper bounds;
@@ -162,7 +178,8 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0,
         )
         shape = LoadShape.FULL if point.ranks % 2 == 0 \
             else LoadShape.HALF_ONE_SOCKET
-    placement = place_ranks(point.ranks, shape, machine)
+    # allow_tail: the paper grid's p=3188 leaves a partial last node.
+    placement = place_ranks(point.ranks, shape, machine, allow_tail=True)
     # Skeleton points replay communication structure only — no matrix.
     system = (generate_system(point.n, seed=seed)
               if "skel" not in point.solver else None)
@@ -177,7 +194,7 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0,
         result = job.run(program)
         dt = time.perf_counter() - t0  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
         wall = dt if wall is None else min(wall, dt)
-    return {
+    out = {
         "mode": mode,
         "wall_s": wall,
         "virtual_s": result.duration,
@@ -186,17 +203,43 @@ def run_point(point: BenchPoint, mode: str, seed: int = 0,
         "total_energy_j": result.total_energy_j,
         "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
     }
+    if shards > 1:
+        sharded_wall = None
+        for _ in range(max(1, repeats)):
+            job = Job(machine, placement, shards=shards)
+            job.sim.fast_collectives = (mode == "fast")
+            job.sim.fast_p2p = (mode == "fast")
+            program = _make_program(point, system)
+            t0 = time.perf_counter()  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+            sharded = job.run(program)
+            dt = time.perf_counter() - t0  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+            sharded_wall = dt if sharded_wall is None \
+                else min(sharded_wall, dt)
+        if (sharded.duration != result.duration
+                or sharded.traffic != result.traffic
+                or sharded.total_energy_j != result.total_energy_j):
+            raise AssertionError(
+                f"{point.label}: sharded run diverged from the "
+                f"single-process reference (shards={shards})"
+            )
+        out["shards"] = shards
+        out["sharded_wall_s"] = sharded_wall
+        out["shard_speedup"] = wall / sharded_wall
+        if sharded.shard_walls is not None:
+            out["shard_walls"] = list(sharded.shard_walls)
+    return out
 
 
 def run_suite(points=None, quick: bool = False,
               modes: tuple[str, ...] | None = None,
               progress=None, repeats: int = 3,
-              skeleton: bool = False) -> dict:
+              skeleton: bool = False, shards: int = 1) -> dict:
     """Run the benchmark suite; returns the ``BENCH_simperf.json`` dict.
 
     ``skeleton=True`` selects :data:`PAPER_SKELETON_POINTS` (the exact
     skeletons at the paper's n = 34560 on Marconi A3) instead of
-    :data:`DEFAULT_POINTS`.
+    :data:`DEFAULT_POINTS`.  ``shards`` > 1 times every fast-mode point
+    both single-process and space-parallel (see :func:`run_point`).
     """
     if points is None:
         points = PAPER_SKELETON_POINTS if skeleton else DEFAULT_POINTS
@@ -208,7 +251,10 @@ def run_suite(points=None, quick: bool = False,
         for mode in (modes if modes is not None else point.modes):
             if progress is not None:
                 progress(f"{point.label} [{mode}] ...")
-            results[mode] = run_point(point, mode, repeats=repeats)
+            results[mode] = run_point(
+                point, mode, repeats=repeats,
+                shards=shards if mode == "fast" else 1,
+            )
         entry = {
             "label": point.label,
             "solver": point.solver,
@@ -288,8 +334,22 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                              "(n=34560 on Marconi A3, fast mode only)")
     parser.add_argument("--modes", default=None,
                         help="comma-separated subset of fast,message")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="best-of-k wall-clock per point (default 3)")
+    parser.add_argument("--only", default=None, metavar="LABELS",
+                        help="comma-separated point labels to run (a "
+                             "subset of the selected suite); combined "
+                             "with --write this updates just those "
+                             "points in the baseline")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-k wall-clock per point (default 3; "
+                             "1 for the --skeleton paper-scale suite)")
+    parser.add_argument("--shards", type=int, nargs="?", const=2, default=1,
+                        metavar="N",
+                        help="also time each fast-mode point sharded "
+                             "across N worker processes (default 2 when "
+                             "given without a value) and record the "
+                             "shard speedup; modeled quantities are "
+                             "asserted identical to the single-process "
+                             "run")
     parser.add_argument("--json", action="store_true",
                         help="print the report as JSON instead of a table")
     parser.add_argument("--table", action="store_true",
@@ -337,10 +397,27 @@ def merge_reports(base: dict, new: dict) -> dict:
 def run_from_args(args) -> int:
     """Execute a parsed benchmark invocation (CLI entry points share this)."""
     modes = tuple(args.modes.split(",")) if args.modes else None
-    report = run_suite(quick=args.quick, modes=modes,
+    skeleton = getattr(args, "skeleton", False)
+    repeats = getattr(args, "repeats", None)
+    if repeats is None:
+        # Paper-scale skeleton points run minutes each; one repeat is
+        # the practical default there (override with --repeats).
+        repeats = 1 if skeleton else 3
+    points = None
+    only = getattr(args, "only", None)
+    if only:
+        wanted = set(only.split(","))
+        pool = PAPER_SKELETON_POINTS if skeleton else DEFAULT_POINTS
+        points = tuple(p for p in pool if p.label in wanted)
+        missing = wanted - {p.label for p in points}
+        if missing:
+            print(f"unknown point label(s): {', '.join(sorted(missing))}")
+            return 2
+    report = run_suite(points=points, quick=args.quick, modes=modes,
                        progress=lambda msg: print(msg, flush=True),
-                       repeats=getattr(args, "repeats", 3),
-                       skeleton=getattr(args, "skeleton", False))
+                       repeats=repeats,
+                       skeleton=skeleton,
+                       shards=getattr(args, "shards", 1) or 1)
     if args.json:
         print(json.dumps(report, indent=2))
     else:

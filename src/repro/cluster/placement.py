@@ -41,19 +41,32 @@ class LoadShape(enum.Enum):
 
 @dataclass(frozen=True)
 class Layout:
-    """One Table 1 row: how many nodes, and the per-socket rank counts."""
+    """One Table 1 row: how many nodes, and the per-socket rank counts.
+
+    ``tail_ranks`` > 0 marks a partially-filled last node (a Slurm
+    allocation whose rank count does not divide the per-node capacity,
+    e.g. the paper grid's p = 3188 on 48-core nodes: 66 full nodes plus
+    20 ranks on a 67th).  Only DES paths opt into tail layouts — the
+    analytic model assumes uniform nodes and keeps the strict invariant.
+    """
 
     ranks: int
     nodes: int
     ranks_per_node: int
     ranks_per_socket: tuple[int, int]
     shape: LoadShape
+    tail_ranks: int = 0
 
     def __post_init__(self):
-        if self.ranks != self.nodes * self.ranks_per_node:
+        full_nodes = self.nodes - (1 if self.tail_ranks else 0)
+        if self.ranks != full_nodes * self.ranks_per_node + self.tail_ranks:
             raise ValueError(
-                f"{self.ranks} ranks != {self.nodes} nodes × "
-                f"{self.ranks_per_node} ranks/node"
+                f"{self.ranks} ranks != {full_nodes} nodes × "
+                f"{self.ranks_per_node} ranks/node + {self.tail_ranks} tail"
+            )
+        if not 0 <= self.tail_ranks < self.ranks_per_node:
+            raise ValueError(
+                f"tail {self.tail_ranks} not in [0, {self.ranks_per_node})"
             )
         if sum(self.ranks_per_socket) != self.ranks_per_node:
             raise ValueError(
@@ -66,25 +79,35 @@ class Layout:
         return sum(1 for r in self.ranks_per_socket if r > 0)
 
     def describe(self) -> str:
+        tail = f" + {self.tail_ranks}-rank tail" if self.tail_ranks else ""
         return (f"{self.ranks} ranks on {self.nodes} nodes "
                 f"({self.ranks_per_node}/node, "
-                f"{self.ranks_per_socket[0]}+{self.ranks_per_socket[1]} per socket)")
+                f"{self.ranks_per_socket[0]}+{self.ranks_per_socket[1]} "
+                f"per socket{tail})")
 
 
-def layout_for(ranks: int, shape: LoadShape, machine: MachineSpec) -> Layout:
-    """Build the Table 1 layout for a rank count and load shape."""
+def layout_for(ranks: int, shape: LoadShape, machine: MachineSpec,
+               allow_tail: bool = False) -> Layout:
+    """Build the Table 1 layout for a rank count and load shape.
+
+    ``allow_tail=True`` accepts rank counts that do not divide the
+    per-node capacity by placing the remainder on one extra node (DES
+    paths only; the analytic closed forms assume uniform nodes).
+    """
     per_socket = shape.ranks_per_socket(machine.cores_per_socket)
     ranks_per_node = sum(per_socket)
-    if ranks % ranks_per_node:
+    tail = ranks % ranks_per_node
+    if tail and not allow_tail:
         raise ValueError(
             f"{ranks} ranks not divisible by {ranks_per_node} ranks/node"
         )
     return Layout(
         ranks=ranks,
-        nodes=ranks // ranks_per_node,
+        nodes=ranks // ranks_per_node + (1 if tail else 0),
         ranks_per_node=ranks_per_node,
         ranks_per_socket=per_socket,
         shape=shape,
+        tail_ranks=tail,
     )
 
 
@@ -118,13 +141,24 @@ class Placement:
             )
         if len(per_socket) > machine.sockets_per_node:
             raise ValueError("layout uses more sockets than the machine has")
-        for node_id in range(layout.nodes):
+        full_nodes = layout.nodes - (1 if layout.tail_ranks else 0)
+        for node_id in range(full_nodes):
             for socket_id, count in enumerate(per_socket):
                 for core_index in range(count):
                     self._assignments.append(
                         Core(node_id=node_id, socket_id=socket_id,
                              index=core_index)
                     )
+        # Partial tail node: block-fill sockets in shape order, the way
+        # Slurm packs the last node of an indivisible allocation.
+        remaining = layout.tail_ranks
+        for socket_id, count in enumerate(per_socket):
+            for core_index in range(min(count, remaining)):
+                self._assignments.append(
+                    Core(node_id=full_nodes, socket_id=socket_id,
+                         index=core_index)
+                )
+            remaining -= min(count, remaining)
         assert len(self._assignments) == layout.ranks
 
     @property
@@ -153,6 +187,8 @@ class Placement:
                        if core.node_id == node_id})
 
 
-def place_ranks(ranks: int, shape: LoadShape, machine: MachineSpec) -> Placement:
+def place_ranks(ranks: int, shape: LoadShape, machine: MachineSpec,
+                allow_tail: bool = False) -> Placement:
     """Convenience: layout + placement in one step."""
-    return Placement(layout_for(ranks, shape, machine), machine)
+    return Placement(layout_for(ranks, shape, machine, allow_tail=allow_tail),
+                     machine)

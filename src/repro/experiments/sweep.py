@@ -69,6 +69,10 @@ class SweepTask:
     #: write per-repetition Chrome traces here (observer only: results
     #: and cache addresses are unaffected; traces need a cold run)
     trace_dir: str | None = None
+    #: shard workers for skeleton-mode DES runs (execution detail only:
+    #: sharded runs are bit-identical to single-process, so this is
+    #: deliberately NOT part of the cache key — see _task_config)
+    shards: int = 1
 
     @property
     def label(self) -> str:
@@ -127,6 +131,9 @@ def _task_config(task: SweepTask) -> dict:
         config["power_cap_w"] = task.power_cap_w
     if task.solver_options:
         config["solver_options"] = {k: v for k, v in task.solver_options}
+    # task.shards is intentionally absent: a sharded skeleton run is
+    # bit-identical to the single-process reference, so both share one
+    # cache entry (and a warm cache answers either form of the request).
     return config
 
 
@@ -162,7 +169,8 @@ def _compute_task(task: SweepTask):
         return run_skeleton(task.algorithm, task.n, task.ranks, shape,
                             machine=machine,
                             repetitions=task.repetitions,
-                            nb=fields.get("nb", 64))
+                            nb=fields.get("nb", 64),
+                            shards=task.shards)
     from repro.workloads.generator import generate_system
 
     tracer_factory, tracers = None, []
@@ -271,6 +279,38 @@ def _run_indexed(item: tuple[int, SweepTask]) -> tuple[int, dict]:
     return i, run_task(task)
 
 
+def make_progress(total: int, quiet: bool = False):
+    """Build the interactive progress callback, or ``None`` when silenced.
+
+    Emits one ``done/total (cache hits, ETA)`` line per completed task.
+    Silenced by ``--quiet`` and whenever stdout is not a TTY, so piped
+    output and CI logs see only the final table or JSON report.  The ETA
+    is the naive completed-rate extrapolation — good enough to answer
+    "minutes or hours?" on a long campaign, which is all it is for.
+    """
+    import sys
+
+    if quiet or not sys.stdout.isatty():
+        return None
+    state = {"done": 0, "hits": 0,
+             "t0": time.perf_counter()}  # repro: allow[DET001] -- ETA reporting
+
+    def progress(row: dict) -> None:
+        state["done"] += 1
+        if row["cached"]:
+            state["hits"] += 1
+        done = state["done"]
+        elapsed = time.perf_counter() - state["t0"]  # repro: allow[DET] -- ETA reporting, never modeled
+        eta = elapsed / done * (total - done)
+        print(f"  {done}/{total} "
+              f"({state['hits']} cache hits, ETA {eta:.0f}s)  "
+              f"{row['label']} "
+              f"[{'cache' if row['cached'] else 'run'}] "
+              f"{row['wall_s']:.3f}s", flush=True)
+
+    return progress
+
+
 def format_table(report: dict) -> str:
     header = (f"{'config':<34} {'mode':<10} {'T_mean s':>10} "
               f"{'E_mean J':>12} {'P W':>8} {'cache':>6} {'wall s':>8}")
@@ -322,6 +362,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                              "full analytic paper grid")
     parser.add_argument("--json", action="store_true",
                         help="print the report as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-task progress lines "
+                             "(they are also suppressed when stdout "
+                             "is not a TTY)")
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="also write the report JSON to a file")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
@@ -337,13 +381,11 @@ def run_from_args(args) -> int:
 
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
     print(describe_cache(), file=sys.stderr, flush=True)
+    tasks = quick_tasks() if args.quick else paper_tasks()
     report = run_sweep(
-        jobs=args.jobs, quick=args.quick,
+        jobs=args.jobs, quick=args.quick, tasks=tasks,
         progress=(None if args.json else
-                  lambda row: print(
-                      f"  {row['label']} "
-                      f"[{'cache' if row['cached'] else 'run'}] "
-                      f"{row['wall_s']:.3f}s", flush=True)),
+                  make_progress(len(tasks), quiet=args.quiet)),
     )
     if args.json:
         print(json.dumps(report, indent=2))

@@ -1,0 +1,133 @@
+"""SHARD001 — shard-mode dual-dispatch discipline.
+
+Space-parallel runs (:mod:`repro.simmpi.shard`) reroute cross-shard
+communication through the coordinator; single-process runs — and every
+run under a tracer or sanitizer — must keep taking the in-process
+reference path, because bit-identity between the two is the mode's
+whole contract and it is only testable while both stay reachable.  A
+comm-layer entry point that calls a ``shard.shard_*`` hand-off
+unconditionally, or behind a guard that never consults the world's
+``shard`` attribute, silently retires the reference path for sharded
+*and* unsharded worlds alike.
+
+Within any module that imports :mod:`repro.simmpi.shard`, every
+``shard.shard_*`` call must therefore be
+
+* **conditional** — lexically inside an ``if`` statement or conditional
+  expression (so the in-process path remains reachable), and
+* **gated** — at least one enclosing condition must read a ``shard``
+  attribute (the ``world.shard is not None and world.shard.remote(...)``
+  idiom) or call a helper defined in the same module whose body reads
+  one.
+
+This is the shard-mode analogue of FAST001's fast/message gate
+discipline.  Deliberate exceptions carry ``# repro: allow[SHARD001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import ModuleInfo, build_parent_map, iter_own_nodes
+
+RULE = "SHARD001"
+
+#: the shard hand-off module; importing it makes a file comm-layer
+_SHARD_MODULES = frozenset({
+    "repro.simmpi.shard",
+})
+
+#: the world attribute that switches shard mode on (``None`` off-shard)
+_GATES = frozenset({"shard"})
+
+
+def _shard_aliases(module: ModuleInfo) -> frozenset[str]:
+    return frozenset(
+        alias for alias, canonical in module.imports.items()
+        if canonical in _SHARD_MODULES
+    )
+
+
+def _is_shard_call(node: ast.AST, aliases: frozenset[str]) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr.startswith("shard_")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in aliases)
+
+
+def _reads_gate(fnode: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Attribute) and node.attr in _GATES
+        for node in iter_own_nodes(fnode)
+    )
+
+
+def _test_mentions_gate(test: ast.expr, gate_helpers: frozenset[str]) -> bool:
+    """A condition counts as gated when it reads a ``shard`` attribute
+    or calls a same-module helper that does."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr in _GATES:
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+            if name in gate_helpers:
+                return True
+    return False
+
+
+def _guard_tests(call: ast.Call, parents: dict[int, ast.AST]) -> list[ast.expr]:
+    """Tests of every ``if``/conditional expression enclosing ``call``
+    (excluding any whose *test* contains the call itself)."""
+    tests: list[ast.expr] = []
+    child: ast.AST = call
+    parent = parents.get(id(child))
+    while parent is not None:
+        if isinstance(parent, (ast.If, ast.IfExp)) and child is not parent.test:
+            tests.append(parent.test)
+        child = parent
+        parent = parents.get(id(child))
+    return tests
+
+
+def check(module: ModuleInfo) -> list[Finding]:
+    aliases = _shard_aliases(module)
+    if not aliases:
+        return []
+    gate_helpers = frozenset(
+        f.name for f in module.functions if _reads_gate(f.node)
+    )
+    findings: list[Finding] = []
+    for fn in module.functions:
+        parents: dict[int, ast.AST] | None = None
+        for node in iter_own_nodes(fn.node):
+            if not _is_shard_call(node, aliases):
+                continue
+            if parents is None:
+                parents = build_parent_map(fn.node)
+            tests = _guard_tests(node, parents)
+            callee = f"{node.func.value.id}.{node.func.attr}"
+            if not tests:
+                findings.append(Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset + 1, rule=RULE,
+                    message=(f"{fn.name}() hands off to {callee} "
+                             "unconditionally — the in-process "
+                             "reference path is unreachable"),
+                    text=module.line_text(node.lineno),
+                ))
+            elif not any(_test_mentions_gate(t, gate_helpers)
+                         for t in tests):
+                findings.append(Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset + 1, rule=RULE,
+                    message=(f"{fn.name}() guards {callee} without "
+                             "consulting the shard attribute — "
+                             "single-process worlds cannot take the "
+                             "in-process path"),
+                    text=module.line_text(node.lineno),
+                ))
+    return findings

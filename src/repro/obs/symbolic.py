@@ -456,6 +456,7 @@ def run_skeleton_job(
     seed: int = 0,
     profile=None,
     fast: bool = True,
+    shards: int = 1,
 ) -> JobResult:
     """Run an exact skeleton as a raw deterministic job.
 
@@ -474,8 +475,10 @@ def run_skeleton_job(
         ) from None
     if machine is None:
         machine = marconi_a3()
-    placement = Placement(layout_for(ranks, shape, machine), machine)
-    job = Job(machine, placement, profile=profile, seed=seed)
+    placement = Placement(
+        layout_for(ranks, shape, machine, allow_tail=True), machine
+    )
+    job = Job(machine, placement, profile=profile, seed=seed, shards=shards)
     job.sim.fast_collectives = fast
     job.sim.fast_p2p = fast
     opts = SymbolicOptions(nb=nb)

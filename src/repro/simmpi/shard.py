@@ -1,0 +1,820 @@
+"""Space-parallel DES: one simulation run sharded across processes.
+
+The rank set is partitioned into S contiguous, node-aligned shards, each
+simulated by a forked worker process (the same fork-pool plumbing the
+sweep executor uses to parallelize *across* runs).  Workers run their
+rank programs completely normally — every operation whose participants
+are all local takes the ordinary engine/fastcoll/fastp2p paths — and
+quiesce when every remaining local rank is blocked on a *cross-shard*
+operation.  At that window barrier the worker ships time-stamped records
+(collective entries with their virtual entry times, outbound p2p flow
+records — the same representation :mod:`repro.simmpi.fastp2p` uses) to
+the parent coordinator, which resolves complete rendezvous sets with the
+exact closed forms of :mod:`repro.simmpi.fastcoll` /
+:mod:`repro.simmpi.fastp2p` and returns per-rank wake times and values.
+
+Why this is bit-identical to single-process execution
+-----------------------------------------------------
+The fast engines already prove that every collective's completion times,
+values, and traffic are *pure functions of the complete entry set* (the
+last-entrant pattern: all ranks park, whoever arrives last replays the
+whole schedule in closed form).  Sharding merely moves that replay from
+"the last entering rank's process" to "the parent coordinator" — same
+recurrences (:func:`~repro.simmpi.fastcoll._up_cascade`,
+:func:`~repro.simmpi.fastcoll._bcast_cascade`,
+:func:`~repro.simmpi.fastcoll._fused_times`,
+:func:`~repro.simmpi.fastp2p._pipe_times`), same fold order, same float
+round trips, same integer traffic sums.  Cross-shard p2p reuses the flow
+records unchanged: the sender's half runs locally (identical timestamps
+and counters), the record is injected into the receiving worker's flow
+at the next barrier, and ``_Flow.park_t`` reproduces the receiver-side
+``max(arrival, post_time) + overhead`` completion of the reference.
+
+A worker's clock may run ahead of a cross-shard completion (it advanced
+while other ranks kept simulating); at quiescence the heap is empty, so
+:meth:`~repro.simmpi.engine.Simulator.rewind` legally moves the clock
+back to the earliest wake before re-scheduling.  Lookahead is implicit:
+an injected event can never precede the receiver's dependency frontier,
+because every cross-shard timestamp is computed by the same fabric
+closed forms the receiver itself would have used — the window advance is
+bounded below by the network model's minimum cross-shard latency.
+
+Scope and gating
+----------------
+Shard mode is opt-in (``Simulator(shards=N)``) and requires a *pure*
+fabric — per-hop cost a function of ``(nbytes, src_node, dst_node)``
+only — which is the fast-path equivalence contract itself.  Tracer and
+sanitizer force the single-process reference path (they observe global
+event interleavings that have no meaning per shard).  Wildcard receives,
+``probe``/``irecv``, and ``alltoall`` are supported on shard-local
+communicators only; on a spanning communicator they raise
+:class:`ShardError` (the solvers in this repo use none of them across
+shards).  Rank programs must never reach cross-shard mutable state
+except through the window-barrier exchange — lint rule ``SHARD001``
+enforces the gate discipline on the dispatch sites.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from bisect import insort
+from typing import Any
+
+from repro.simmpi import fastcoll, fastp2p
+from repro.simmpi.datatypes import copy_payload, payload_nbytes
+from repro.simmpi.engine import Park
+from repro.simmpi.errors import CommMismatchError, DeadlockError, SimMPIError
+
+_COLL_TAG_BASE = fastcoll._COLL_TAG_BASE
+
+#: collective kinds that consume exactly one tag (like their fast engines)
+_ONE_TAG = frozenset({"bcast", "gather", "scatter", "reduce"})
+#: fused kinds consuming two tags (composed reduce + bcast)
+_FUSED = frozenset({"allreduce", "allgather", "barrier"})
+
+
+class ShardError(SimMPIError):
+    """An operation is not supported in sharded execution."""
+
+
+def fabric_is_pure(fabric) -> bool:
+    """True when per-hop cost is a pure function of (nbytes, src, dst).
+
+    Same condition as the fast-path equivalence contract: stateful
+    fabrics (seeded jitter, NIC injection serialization) consume state
+    in hop order, which has no consistent meaning across shards.
+    """
+    return (getattr(fabric, "jitter_frac", 0.0) == 0.0
+            and not getattr(fabric, "serialize_injection", False))
+
+
+def partition_ranks(node_of, n_ranks: int, shards: int) -> list[list[int]]:
+    """Contiguous, node-aligned shard partition of the rank set.
+
+    Each node's ranks land in exactly one shard — required so a worker
+    owns its nodes' RAPL accounting outright — and shards are contiguous
+    rank ranges balanced by rank count.  The effective shard count is
+    ``min(shards, number of nodes)``.
+    """
+    groups: list[list[int]] = []
+    last = None
+    for r in range(n_ranks):
+        node = node_of(r)
+        if node != last:
+            groups.append([])
+            last = node
+        groups[-1].append(r)
+    shards = max(1, min(shards, len(groups)))
+    # Balanced contiguous split of the node groups by total rank count:
+    # close a shard once the cumulative rank count crosses the next
+    # i/shards quantile boundary.
+    out: list[list[int]] = []
+    per = n_ranks / shards
+    acc: list[int] = []
+    assigned = 0
+    for g in groups:
+        acc.extend(g)
+        if (len(out) < shards - 1
+                and assigned + len(acc) >= per * (len(out) + 1) - 1e-9):
+            out.append(acc)
+            assigned += len(acc)
+            acc = []
+    if acc:
+        out.append(acc)
+    return out
+
+
+# ===================================================================== worker
+
+class _WorkerRuntime:
+    """Per-worker shard state: spanning detection, pending parks, outbox.
+
+    Installed as ``world.shard``; the communicator dispatch sites in
+    :mod:`repro.simmpi.comm` consult it (guarded — see SHARD001) to
+    route spanning operations here instead of the local engines.
+    """
+
+    def __init__(self, world, shard_id: int, local_ranks):
+        self.world = world
+        self.shard_id = shard_id
+        self.local = frozenset(local_ranks)
+        #: records accumulated since the last window barrier
+        self.outbox: list = []
+        #: (key, comm_rank) -> Park slot of a rank waiting on the parent
+        self.parked: dict = {}
+        #: (key, comm_rank) -> live pipeline steps (producers intact)
+        self.pipes: dict = {}
+        self._spans: dict = {}
+        self._meta_sent: set = set()
+
+    def spans(self, comm) -> bool:
+        """True when ``comm`` has members outside this shard."""
+        cached = self._spans.get(comm.cid)
+        if cached is None:
+            cached = not self.local.issuperset(comm._group)
+            self._spans[comm.cid] = cached
+        return cached
+
+    def remote(self, comm, rank: int) -> bool:
+        """True when comm-rank ``rank`` lives in another shard."""
+        return comm._group[rank] not in self.local
+
+    def _meta(self, comm):
+        if comm.cid in self._meta_sent:
+            return None
+        self._meta_sent.add(comm.cid)
+        return tuple(comm._group)
+
+    # ------------------------------------------------------- collectives
+    def collective(self, comm, kind: str, payload=None, root: int = 0,
+                   nbytes=None, op=None, steps=None):
+        """Generator: record entry, park, resume with the parent's value.
+
+        Consumes ``_coll_seq`` tags exactly as the fast engines do, so a
+        communicator's tag stream is lockstep with every other path.
+        """
+        sim = self.world.sim
+        if kind in _ONE_TAG:
+            comm._coll_seq = seq = comm._coll_seq + 1
+        elif kind in _FUSED:
+            seq = comm._coll_seq + 1
+            comm._coll_seq = seq + 1
+        else:  # pipeline: one tag per stage
+            seq = comm._coll_seq + 1
+            comm._coll_seq += len(steps)
+        key = (comm.cid, _COLL_TAG_BASE - seq)
+        rank = comm.rank
+        if kind == "bcast":
+            data = (root, nbytes, payload if rank == root else None)
+        elif kind == "gather":
+            data = (root, copy_payload(payload))
+        elif kind == "reduce":
+            data = (root, copy_payload(payload), op)
+        elif kind == "scatter":
+            if rank == root and (payload is None or len(payload) != comm.size):
+                raise CommMismatchError(
+                    f"scatter root needs {comm.size} payloads, got "
+                    f"{None if payload is None else len(payload)}"
+                )
+            data = (root, nbytes, payload if rank == root else None)
+        elif kind == "allreduce":
+            data = (copy_payload(payload), op)
+        elif kind == "allgather":
+            data = (copy_payload(payload),)
+        elif kind == "barrier":
+            data = ()
+        elif kind == "pipeline":
+            self.pipes[(key, rank)] = steps
+            data = (tuple(_strip_step(st) for st in steps),)
+        else:  # pragma: no cover - dispatch sites enumerate the kinds
+            raise ShardError(f"unknown collective kind {kind!r}")
+        slot: list = [None]
+        self.parked[(key, rank)] = slot
+        self.outbox.append(
+            ("coll", self._meta(comm), key, kind, rank, sim.now, data)
+        )
+        value = yield Park(slot, 0)
+        # Root-identity results are produced locally (the parent ships
+        # None): same object/copy semantics as the reference engines.
+        if kind == "bcast" and rank == root:
+            return payload
+        if kind == "scatter" and rank == root:
+            return copy_payload(payload[root])
+        return value
+
+    # --------------------------------------------------------------- p2p
+    def p2p_send(self, comm, payload, dest: int, tag: int, nbytes=None):
+        """Generator: the local half of a cross-shard blocking send.
+
+        Mirrors :func:`repro.simmpi.fastp2p._push` exactly — same
+        arrival/accounting/arbitration-counter effects — but routes the
+        flow record through the parent instead of a local flow.
+        """
+        world = self.world
+        sim = world.sim
+        if tag < 0:
+            raise ShardError(
+                f"cross-shard send with reserved tag {tag} "
+                f"(cid={comm.cid}, {comm.rank}->{dest})"
+            )
+        fabric = world.fabric
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        now = sim.now
+        nodes = comm._nodes
+        src_node = nodes[comm.rank]
+        dst_node = nodes[dest]
+        schedule = getattr(fabric, "transfer_schedule", None)
+        if schedule is not None:
+            raw = schedule(size, src_node, dst_node, now)
+        else:
+            raw = now + fabric.transfer_time(size, src_node, dst_node)
+        arrival = now + (raw - now)
+        if world.track_traffic:
+            world.stats.record(size, src_node != dst_node)
+        next(world._msg_seq)
+        self.outbox.append(
+            ("p2p", self._meta(comm), comm.cid, comm.rank, dest, tag,
+             arrival, copy_payload(payload), size)
+        )
+        overhead = fabric.cpu_overhead(size)
+        done = now + ((now + overhead) - now)
+        if done > now:
+            yield fastp2p.SleepUntil(done)
+        return None
+
+    def p2p_isend(self, comm, payload, dest: int, tag: int, nbytes=None):
+        """Immediate-mode cross-shard send (same record, Request handle)."""
+        world = self.world
+        sim = world.sim
+        if tag < 0:
+            raise ShardError(
+                f"cross-shard isend with reserved tag {tag} "
+                f"(cid={comm.cid}, {comm.rank}->{dest})"
+            )
+        fabric = world.fabric
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        now = sim.now
+        nodes = comm._nodes
+        src_node = nodes[comm.rank]
+        dst_node = nodes[dest]
+        schedule = getattr(fabric, "transfer_schedule", None)
+        if schedule is not None:
+            raw = schedule(size, src_node, dst_node, now)
+        else:
+            raw = now + fabric.transfer_time(size, src_node, dst_node)
+        arrival = now + (raw - now)
+        if world.track_traffic:
+            world.stats.record(size, src_node != dst_node)
+        next(world._msg_seq)
+        self.outbox.append(
+            ("p2p", self._meta(comm), comm.cid, comm.rank, dest, tag,
+             arrival, copy_payload(payload), size)
+        )
+        from repro.simmpi.comm import Request
+        done = sim.event(f"isend:{comm.cid}:{comm.rank}->{dest}")
+        overhead = fabric.cpu_overhead(size)
+        done_t = now + ((now + overhead) - now)
+        sim.schedule_at(done_t, done.set, None)
+        return Request(done)
+
+    def p2p_recv(self, comm, source: int, tag: int, with_status: bool):
+        """Cross-shard receive: the flow path, fed by barrier injection."""
+        if tag < 0:
+            raise ShardError(
+                f"cross-shard receive with wildcard/reserved tag {tag} "
+                f"(cid={comm.cid}, {source}->{comm.rank})"
+            )
+        # repro: allow[FAST001] -- cross-shard receives always ride the
+        # flow path: the mailbox reference cannot exist across processes,
+        # and fast_recv == message recv is the proven p2p invariant
+        return (yield from fastp2p.fast_recv(comm, source, tag, with_status))
+
+    # ------------------------------------------------------------ barrier
+    def apply(self, wakes: list, msgs: list) -> None:
+        """Apply one window's resolutions: rewind, inject, reschedule.
+
+        ``wakes`` are ``(key, comm_rank, time, value)``; ``msgs`` are
+        cross-shard flow records addressed to local ranks.  The clock
+        rewind is legal — the worker is quiesced (empty heap) — and the
+        events scheduled here carry exact reference timestamps.
+        """
+        world = self.world
+        sim = world.sim
+        flows = []
+        times = []
+        for cid, src, dst, tag, arrival, payload, size in msgs:
+            flow = fastp2p._flow_of(world, cid, src, dst, tag)
+            flows.append((flow, arrival, payload, size))
+            if flow.slot[0] is not None:
+                times.append(max(arrival, flow.park_t))
+        for _key, _rank, t, _value in wakes:
+            times.append(t)
+        if times:
+            sim.rewind(min(times))
+        for flow, arrival, payload, size in flows:
+            insort(flow.msgs, (arrival, next(world._msg_seq), payload, size))
+            if flow.slot[0] is not None:
+                sim.schedule_at(max(arrival, flow.park_t),
+                                flow._on_arrival, None)
+        for key, rank, t, value in wakes:
+            slot = self.parked.pop((key, rank))
+            proc = slot[0]
+            slot[0] = None
+            self.pipes.pop((key, rank), None)
+            sim.schedule_at(t, proc._step, value)
+
+
+def _strip_step(step):
+    """Shippable stage meta: producers become a marker (they are local
+    closures; the parent round-trips their evaluation back here)."""
+    if step[0] == "bcast" and step[2] is not None:
+        return (step[0], step[1], "__producer__") + tuple(step[3:])
+    return tuple(step)
+
+
+def _worker_main(job, conn, shard_id: int, local_ranks, program, kwargs,
+                 comms, contexts) -> None:
+    """Worker process body: simulate local ranks between window barriers."""
+    # repro: allow[DET001,DET101] -- wall-clock for shard metrics only,
+    # never feeds modeled quantities
+    wall0 = time.perf_counter()
+    sim = job.sim
+    world = job.world
+    rt = _WorkerRuntime(world, shard_id, local_ranks)
+    world.shard = rt
+    try:
+        spin_handles = []
+        for rank in local_ranks:
+            core = job.placement.core_of(rank)
+            pkg = job.rapl_nodes[core.node_id].package(core.socket_id)
+            spin_handles.append((pkg, pkg.begin_core_spin(0.0)))
+        procs = {
+            rank: sim.spawn(program(contexts[rank], comms[rank], **kwargs),
+                            name=f"rank{rank}")
+            for rank in local_ranks
+        }
+        reported: set = set()
+        while True:
+            sim.drain()
+            finished = {}
+            for rank, proc in procs.items():
+                if proc.done and rank not in reported:
+                    reported.add(rank)
+                    finished[rank] = proc.finish_time
+            blocked = sorted(p.name for p in sim._live_processes
+                             if not p.done)
+            conn.send(("q", rt.outbox, finished, blocked))
+            rt.outbox = []
+            while True:
+                cmd = conn.recv()
+                verb = cmd[0]
+                if verb == "eval":
+                    _verb, key, root, si, prev = cmd
+                    producer = rt.pipes[(key, root)][si][2]
+                    conn.send(("ev", producer(prev)))
+                elif verb == "apply":
+                    rt.apply(cmd[1], cmd[2])
+                    break
+                elif verb == "finish":
+                    duration = cmd[1]
+                    for pkg, handle in spin_handles:
+                        pkg.end_core_spin(handle, duration)
+                    owned = {job.placement.node_of(r) for r in local_ranks}
+                    energy = {
+                        (node.node_id, domain):
+                            node.exact_domain_energy_j(domain, duration)
+                        for node in job.rapl_nodes
+                        if node.node_id in owned
+                        for domain in job._domains()
+                    }
+                    results = {r: procs[r].result for r in local_ranks}
+                    # The shard wall is a host-side metric riding the
+                    # control pipe; it never feeds a modeled quantity.
+                    # repro: allow[DET001,DET101] -- shard wall metric
+                    wall = time.perf_counter() - wall0
+                    snap = world.stats.snapshot()
+                    conn.send(("result", results, energy, snap, wall))  # repro: allow[DET101] -- host metric on the control pipe
+                    return
+                else:  # abort
+                    return
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+# ===================================================================== parent
+
+class _Op:
+    """One cross-shard rendezvous accumulating entries until complete."""
+
+    __slots__ = ("kind", "entries", "sid_of")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.entries: dict[int, tuple[float, tuple]] = {}
+        self.sid_of: dict[int, int] = {}
+
+
+class _Coordinator:
+    """Parent-side resolver: drives window barriers over the workers.
+
+    Owns the pristine pre-fork ``World`` mirror — resolving an operation
+    here accounts its cross-shard traffic into the parent's counters,
+    which merge (order-free integer sums) with the workers' local
+    counters to reproduce the reference totals exactly.
+    """
+
+    def __init__(self, job, world_comm, workers):
+        self.job = job
+        self.world = job.world
+        self.workers = workers  # list of (process, conn, local rank set)
+        self.comms: dict = {world_comm.cid: world_comm}
+        self.groups: dict = {world_comm.cid: tuple(world_comm._group)}
+        self.sid_of_rank = {}
+        for sid, (_p, _c, ranks) in enumerate(workers):
+            for r in ranks:
+                self.sid_of_rank[r] = sid
+        self.ops: dict = {}
+        self.wake_batches: list[list] = [[] for _ in workers]
+        self.inject_batches: list[list] = [[] for _ in workers]
+        self.finished: dict[int, float] = {}
+        self.blocked: dict[int, list] = {}
+
+    # ------------------------------------------------------------- comms
+    def _mirror(self, cid):
+        comm = self.comms.get(cid)
+        if comm is None:
+            from repro.simmpi.comm import Communicator
+            group = self.groups[cid]
+            comm = Communicator(self.world, cid, 0, list(group), parent=None)
+            self.comms[cid] = comm
+        return comm
+
+    def _note_meta(self, cid, meta):
+        if meta is not None and cid not in self.groups:
+            self.groups[cid] = meta
+
+    # -------------------------------------------------------------- intake
+    def _ingest(self, sid: int, records: list) -> None:
+        for rec in records:
+            if rec[0] == "coll":
+                _t, meta, key, kind, rank, entry, data = rec
+                self._note_meta(key[0], meta)
+                op = self.ops.get(key)
+                if op is None:
+                    op = self.ops[key] = _Op(kind)
+                op.entries[rank] = (entry, data)
+                op.sid_of[rank] = sid
+            else:  # p2p flow record
+                _t, meta, cid, src, dst, tag, arrival, payload, size = rec
+                self._note_meta(cid, meta)
+                dst_wrank = self.groups[cid][dst]
+                self.inject_batches[self.sid_of_rank[dst_wrank]].append(
+                    (cid, src, dst, tag, arrival, payload, size)
+                )
+
+    # ----------------------------------------------------------- resolve
+    def _resolve_ready(self) -> None:
+        for key in list(self.ops):
+            op = self.ops[key]
+            comm = self._mirror(key[0])
+            if len(op.entries) < comm.size:
+                continue
+            del self.ops[key]
+            wakes = _RESOLVERS[op.kind](self, comm, key, op)
+            for rank, (t, value) in wakes.items():
+                self.wake_batches[op.sid_of[rank]].append(
+                    (key, rank, t, value)
+                )
+
+    def _eval_producer(self, sid: int, key, root: int, si: int, prev):
+        """Sub-round-trip: run a pipeline stage producer in the worker
+        that owns the stage root (its closure state lives there)."""
+        _proc, conn, _ranks = self.workers[sid]
+        conn.send(("eval", key, root, si, prev))
+        msg = conn.recv()
+        if msg[0] == "error":
+            raise ShardError(f"shard {sid} producer failed:\n{msg[1]}")
+        return msg[1]
+
+    # ----------------------------------------------------------- main loop
+    def run(self):
+        from multiprocessing.connection import wait as conn_wait
+
+        n_ranks = self.world.size
+        waiting: set[int] = set()
+        conns = {id(c): (sid, c)
+                 for sid, (_p, c, _r) in enumerate(self.workers)}
+        while True:
+            ready = conn_wait([c for _s, c in conns.values()])
+            for c in ready:
+                sid, _c = conns[id(c)]
+                try:
+                    msg = c.recv()
+                except EOFError:
+                    raise ShardError(f"shard worker {sid} died unexpectedly")
+                if msg[0] == "error":
+                    raise ShardError(
+                        f"shard worker {sid} failed:\n{msg[1]}"
+                    )
+                _verb, records, finished, blocked = msg
+                self.finished.update(finished)
+                self.blocked[sid] = blocked
+                self._ingest(sid, records)
+                waiting.add(sid)
+            if len(waiting) < len(self.workers):
+                continue
+            # Window barrier: every worker quiesced.
+            self._resolve_ready()
+            sent = False
+            for sid in range(len(self.workers)):
+                wakes = self.wake_batches[sid]
+                msgs = self.inject_batches[sid]
+                if not wakes and not msgs:
+                    continue
+                self.wake_batches[sid] = []
+                self.inject_batches[sid] = []
+                self.workers[sid][1].send(("apply", wakes, msgs))
+                waiting.discard(sid)
+                sent = True
+            if sent:
+                continue
+            if len(self.finished) == n_ranks:
+                return self._finish()
+            names = sorted(n for b in self.blocked.values() for n in b)
+            raise DeadlockError(
+                names,
+                detail=(f"sharded run stalled at a window barrier with "
+                        f"{len(self.ops)} incomplete cross-shard "
+                        f"rendezvous(es)"),
+            )
+
+    def _finish(self):
+        duration = max(self.finished.values(), default=0.0)
+        results: dict[int, Any] = {}
+        energy: dict = {}
+        traffic = dict(self.world.stats.snapshot())
+        walls = [0.0] * len(self.workers)
+        for sid, (_p, conn, _r) in enumerate(self.workers):
+            conn.send(("finish", duration))
+        for sid, (_p, conn, _r) in enumerate(self.workers):
+            msg = conn.recv()
+            if msg[0] == "error":
+                raise ShardError(f"shard worker {sid} failed:\n{msg[1]}")
+            _verb, rank_results, node_energy, stats, wall = msg
+            results.update(rank_results)
+            energy.update(node_energy)
+            for k, v in stats.items():
+                traffic[k] = traffic.get(k, 0) + v
+            walls[sid] = wall
+        # Allocated nodes with no ranks belong to no shard; their idle
+        # accounting comes from the parent's pristine RAPL state (no
+        # spins ever opened here — identical to any worker's view).
+        owned = {node_id for (node_id, _d) in energy}
+        for node in self.job.rapl_nodes:
+            if node.node_id not in owned:
+                for domain in self.job._domains():
+                    energy[(node.node_id, domain)] = (
+                        node.exact_domain_energy_j(domain, duration)
+                    )
+        return duration, results, energy, traffic, tuple(walls)
+
+
+# --------------------------------------------------------- kind resolvers
+
+def _resolve_bcast(co: _Coordinator, comm, key, op: _Op) -> dict:
+    size = comm.size
+    root = next(iter(op.entries.values()))[1][0]
+    _root, nbytes, payload = op.entries[root][1]
+    rec = fastcoll._DownRec(size)
+    for rank, (entry, _data) in op.entries.items():
+        rec.entry[(rank - root) % size] = entry
+    rec.nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+    co.world._fast_colls[key] = rec
+    fastcoll._bcast_cascade(comm, rec, key, root, size, 0, payload,
+                            rec.entry[0])
+    wakes = {}
+    for rank in op.entries:
+        v = (rank - root) % size
+        wakes[rank] = (rec.compl[v], None if rank == root else rec.value[v])
+    return wakes
+
+
+def _resolve_up(co: _Coordinator, comm, key, op: _Op) -> dict:
+    size = comm.size
+    reduce_mode = op.kind == "reduce"
+    first = next(iter(op.entries.values()))[1]
+    root = first[0]
+    fold = first[2] if reduce_mode else fastcoll._merge
+    finalize = None if reduce_mode else fastcoll._ordered_list
+    rec = fastcoll._UpRec(size)
+    for rank, (entry, data) in op.entries.items():
+        v = (rank - root) % size
+        rec.entry[v] = entry
+        payload = data[1]
+        rec.acc[v] = (copy_payload(payload) if reduce_mode
+                      else {rank: copy_payload(payload)})
+    co.world._fast_colls[key] = rec
+    table = fastcoll._children_table(size)
+    # Leaves in descending virtual-rank order: exactly the deepest-first
+    # cascade arrival order the incremental engine produces.
+    for v in range(size - 1, -1, -1):
+        if not table[v]:
+            fastcoll._up_cascade(comm, rec, key, root, size, v, fold,
+                                 finalize)
+    root_value = rec.acc[0] if reduce_mode else fastcoll._ordered_list(
+        rec.acc[0])
+    wakes = {}
+    for rank in op.entries:
+        v = (rank - root) % size
+        wakes[rank] = (rec.compl[v], root_value if rank == root else None)
+    return wakes
+
+
+def _resolve_scatter(co: _Coordinator, comm, key, op: _Op) -> dict:
+    size = comm.size
+    root = next(iter(op.entries.values()))[1][0]
+    _root, nbytes, payloads = op.entries[root][1]
+    world = co.world
+    fabric = world.fabric
+    nodes = comm._nodes
+    src_node = nodes[root]
+    wrank = comm.world_rank(root)
+    t = op.entries[root][0]
+    wakes = {}
+    # repro: allow[PERF002] -- flat sequential send chain, inherently O(ranks)
+    for dst in range(size):
+        if dst == root:
+            continue
+        pbytes = (payload_nbytes(payloads[dst]) if nbytes is None
+                  else nbytes[dst])
+        arr = fastcoll._arrival(world, pbytes, src_node, nodes[dst], t)
+        fastcoll._account(world, pbytes, src_node, nodes[dst], wrank)
+        t = fastcoll._after_send(t, fabric.cpu_overhead(pbytes))
+        compl = max(op.entries[dst][0], arr) + fabric.cpu_overhead(pbytes)
+        wakes[dst] = (compl, copy_payload(payloads[dst]))
+    wakes[root] = (t, None)
+    return wakes
+
+
+def _resolve_fused(co: _Coordinator, comm, key, op: _Op) -> dict:
+    size = comm.size
+    kind = op.kind
+    rec = fastcoll._FusedRec(size)
+    fold = fastcoll._add
+    finalize = None
+    if kind == "allreduce":
+        fold = next(iter(op.entries.values()))[1][1]
+    elif kind == "allgather":
+        fold = fastcoll._merge
+        finalize = fastcoll._ordered_list
+    for rank, (entry, data) in op.entries.items():
+        rec.entry[rank] = entry
+        if kind == "allreduce":
+            rec.acc[rank] = copy_payload(data[0])
+        elif kind == "allgather":
+            rec.acc[rank] = {rank: copy_payload(data[0])}
+        else:
+            rec.acc[rank] = 0
+    compl, values = fastcoll._fused_times(comm, rec, size, fold, finalize)
+    if kind == "barrier":
+        return {r: (compl[r], None) for r in op.entries}
+    return {r: (compl[r], values[r]) for r in op.entries}
+
+
+def _resolve_pipeline(co: _Coordinator, comm, key, op: _Op) -> dict:
+    size = comm.size
+    rec = fastp2p._PipeRec(size)
+    for rank, (entry, data) in op.entries.items():
+        rec.entry[rank] = entry
+        steps = []
+        for si, st in enumerate(data[0]):
+            if st[0] == "bcast" and st[2] == "__producer__":
+                sid = op.sid_of[rank]
+                proxy = _make_proxy(co, sid, key, rank, si)
+                steps.append((st[0], st[1], proxy) + tuple(st[3:]))
+            else:
+                steps.append(st)
+        rec.steps[rank] = steps
+    compl, results = fastp2p._pipe_times(comm, rec, size)
+    return {r: (compl[r], results[r]) for r in op.entries}
+
+
+def _make_proxy(co: _Coordinator, sid: int, key, root: int, si: int):
+    def proxy(prev):
+        return co._eval_producer(sid, key, root, si, prev)
+    return proxy
+
+
+_RESOLVERS = {
+    "bcast": _resolve_bcast,
+    "gather": _resolve_up,
+    "reduce": _resolve_up,
+    "scatter": _resolve_scatter,
+    "allreduce": _resolve_fused,
+    "allgather": _resolve_fused,
+    "barrier": _resolve_fused,
+    "pipeline": _resolve_pipeline,
+}
+
+
+# ------------------------------------------------------- dispatch wrappers
+# The communicator dispatch sites call these module-level entry points.
+# Every call site must be lexically gated on a ``world.shard`` test (lint
+# rule SHARD001): reaching them with ``world.shard`` unset means a rank
+# program is touching cross-shard state outside the barrier exchange.
+
+def shard_coll(comm, kind: str, payload=None, root: int = 0, nbytes=None,
+               op=None, steps=None):
+    """Route a spanning collective through the window-barrier exchange."""
+    return comm.world.shard.collective(comm, kind, payload=payload,
+                                       root=root, nbytes=nbytes, op=op,
+                                       steps=steps)
+
+
+def shard_send(comm, payload, dest: int, tag: int, nbytes=None):
+    """Route a cross-shard blocking send through the barrier exchange."""
+    return comm.world.shard.p2p_send(comm, payload, dest, tag, nbytes)
+
+
+def shard_isend(comm, payload, dest: int, tag: int, nbytes=None):
+    """Route a cross-shard immediate send through the barrier exchange."""
+    return comm.world.shard.p2p_isend(comm, payload, dest, tag, nbytes)
+
+
+def shard_recv(comm, source: int, tag: int, with_status: bool):
+    """Route a cross-shard receive through the barrier exchange."""
+    return comm.world.shard.p2p_recv(comm, source, tag, with_status)
+
+
+# ===================================================================== entry
+
+def run_sharded(job, program, shards: int, **kwargs):
+    """Execute ``program`` on every rank across ``shards`` worker
+    processes; returns ``(duration, results, energy, traffic, walls)``.
+
+    Called by :meth:`repro.runtime.job.Job.run` when shard mode is
+    enabled and neither tracer nor sanitizer is attached.  Falls back is
+    the caller's job: this function raises :class:`ShardError` on
+    configurations sharding cannot reproduce bit-identically.
+    """
+    if not fabric_is_pure(job.fabric):
+        raise ShardError(
+            "sharded execution requires a pure (stateless) fabric: "
+            "per-hop cost must be a function of (nbytes, src, dst) only "
+            "— disable fabric jitter / injection serialization, or run "
+            "with shards=1"
+        )
+    parts = partition_ranks(job.placement.node_of, job.placement.n_ranks,
+                            shards)
+    comms = job.world.comm_world()
+    contexts = job.make_contexts()
+    ctx = multiprocessing.get_context("fork")
+    workers = []
+    try:
+        for sid, ranks in enumerate(parts):
+            parent_conn, worker_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(job, worker_conn, sid, ranks, program, kwargs,
+                      comms, contexts),
+                name=f"shard{sid}",
+            )
+            proc.start()
+            worker_conn.close()
+            workers.append((proc, parent_conn, frozenset(ranks)))
+        return _Coordinator(job, comms[0], workers).run()
+    finally:
+        for proc, conn, _ranks in workers:
+            try:
+                conn.close()
+            except Exception:
+                pass
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

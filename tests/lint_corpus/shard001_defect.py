@@ -1,0 +1,21 @@
+"""SHARD001 defect: the p2p entry point hands every message to the
+cross-shard coordinator, so the in-process reference path — the one
+sharded runs must stay bit-identical to — is unreachable.  A second
+entry point guards the hand-off, but on the wrong condition: it never
+consults the world's ``shard`` attribute."""
+
+from repro.simmpi import shard
+
+
+class LeakyComm:
+    def send(self, payload, dest, tag, nbytes=None):
+        # Unconditional hand-off: single-process worlds have no
+        # coordinator to deliver this.
+        return shard.shard_send(self, payload, dest, tag, nbytes)
+
+    def isend(self, payload, dest, tag, nbytes=None):
+        # Guarded, but the guard never reads world.shard — remote
+        # destinations are rerouted even in unsharded worlds.
+        if dest != self.rank:
+            return shard.shard_isend(self, payload, dest, tag, nbytes)
+        return self._isend_local(payload, tag, nbytes)

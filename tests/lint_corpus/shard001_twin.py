@@ -1,0 +1,26 @@
+"""SHARD001 twin: every cross-shard hand-off sits behind a condition
+that reads the world's ``shard`` attribute — directly, or through a
+same-module helper whose body does — so unsharded worlds (and traced
+or sanitized runs, which never get a shard) keep the in-process
+reference path."""
+
+from repro.simmpi import shard
+
+
+def _crosses_shards(comm, dest):
+    world = comm.world
+    return world.shard is not None and world.shard.remote(comm, dest)
+
+
+class GatedComm:
+    def send(self, payload, dest, tag, nbytes=None):
+        world = self.world
+        if world.shard is not None and world.shard.remote(self, dest):
+            return shard.shard_send(self, payload, dest, tag, nbytes)
+        return self._send_message(payload, dest, tag, nbytes)
+
+    def isend(self, payload, dest, tag, nbytes=None):
+        # Gated through the module-level helper.
+        if _crosses_shards(self, dest):
+            return shard.shard_isend(self, payload, dest, tag, nbytes)
+        return self._isend_message(payload, dest, tag, nbytes)

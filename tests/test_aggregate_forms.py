@@ -223,6 +223,48 @@ def test_probe_degrades_identically(size):
     assert results[0] == (21.0, [float(r) for r in range(size)])
 
 
+# ----------------------------------------- paper-scale rank counts
+@pytest.mark.parametrize("size", [1296, 3188])
+def test_wave_tables_enumeration_is_bounded(size):
+    """The closed forms advance whole rank classes per level: at the
+    paper's rank counts the wave count must stay logarithmic and the
+    waves must partition the rank set exactly."""
+    from repro.simmpi.aggregate import _wave_tables
+
+    parent, waves = _wave_tables(size)
+    assert len(waves) == size.bit_length()  # floor(log2) + 1
+    seen = []
+    for vr, slots in waves:
+        seen.extend(int(v) for v in vr)
+        assert len(slots) <= size.bit_length()
+    assert sorted(seen) == list(range(size))
+    # Parent links are consistent: every non-root rank's parent sits in
+    # a strictly shallower wave.
+    depth = {int(v): d for d, (vr, _s) in enumerate(waves) for v in vr}
+    for v in range(1, size):
+        assert depth[int(parent[v])] < depth[v]
+
+
+@pytest.mark.parametrize("algo,ranks", [
+    ("ime", 1296), ("scalapack", 1296),
+    ("ime", 3188), ("scalapack", 3188),
+])
+def test_exact_skeleton_vector_scalar_identity_paper_ranks(algo, ranks):
+    """Vector ≡ scalar bit-identity at the paper's rank counts (p=3188
+    includes the partial tail node), using the exact skeletons at a
+    quick matrix size — the structure is what the rank count stresses,
+    and it is independent of n."""
+    from repro.obs.symbolic import run_skeleton_job
+
+    with aggregate_min_size(FORCE_VECTOR):
+        vec = run_skeleton_job(algo, 36, ranks)
+    with aggregate_min_size(FORCE_SCALAR):
+        scal = run_skeleton_job(algo, 36, ranks)
+    assert vec.duration == scal.duration
+    assert vec.traffic == scal.traffic
+    assert vec.node_energy_j == scal.node_energy_j
+
+
 # ------------------------------------------------------------ gate sanity
 def test_vector_leg_actually_vectorizes(monkeypatch):
     """Guard against the vector leg silently falling back to scalar:

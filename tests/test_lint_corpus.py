@@ -19,6 +19,7 @@ NEW_FAMILY_RULES = frozenset({
     "UNIT001", "UNIT002", "UNIT003",
     "DET101", "DET102",
     "MPIS001", "MPIS002", "MPIS003",
+    "SHARD001",
 })
 
 RULES = sorted(p.stem.split("_")[0].upper()

@@ -1,0 +1,222 @@
+"""Sharded DES (space-parallel single-run) equivalence tests.
+
+The contract (see ``repro/simmpi/shard.py`` and docs/performance.md):
+``Simulator(shards=N)`` with no tracer/sanitizer attached partitions the
+rank set across worker processes and resolves cross-shard rendezvous
+with the same closed forms the fast paths use — *bit-identical* to the
+single-process reference in virtual times, message/byte counters,
+oracle energy, and per-rank results.  Tracer or sanitizer attachment
+forces the reference path; impure fabrics are rejected outright.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import small_test_machine
+from repro.cluster.placement import LoadShape, place_ranks
+from repro.runtime.job import Job
+from repro.simmpi.engine import Simulator
+from repro.simmpi.shard import ShardError, fabric_is_pure, partition_ranks
+from repro.solvers.ime.ft_parallel import FtOptions, ime_ft_parallel_program
+from repro.solvers.ime.parallel import ime_parallel_program
+from repro.solvers.scalapack.pdgesv import pdgesv_program
+from repro.workloads.generator import generate_system
+
+
+def _assert_same(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_array_equal(a, b)
+    elif isinstance(a, (tuple, list)):
+        assert type(a) is type(b) and len(a) == len(b)
+        for x, y in zip(a, b):
+            _assert_same(x, y)
+    elif isinstance(a, dict):
+        assert set(a) == set(b)
+        for k in a:
+            _assert_same(a[k], b[k])
+    else:
+        assert a == b
+
+
+def assert_jobs_identical(ref, sharded):
+    """Bitwise: virtual time, per-domain joules, traffic, results."""
+    assert ref.duration == sharded.duration
+    assert ref.node_energy_j == sharded.node_energy_j
+    assert ref.traffic == sharded.traffic
+    for a, b in zip(ref.rank_results, sharded.rank_results):
+        _assert_same(a, b)
+
+
+def run_job(kind, n, ranks, shards, fast=True, cores_per_socket=2,
+            ft_options=None, seed=0):
+    """Full-stack job (energy accounting included), optionally sharded.
+
+    ``cores_per_socket=2`` puts 8 ranks on 2 nodes (effective shard
+    count 2); ``cores_per_socket=1`` puts them on 4 nodes so a
+    ``shards=4`` run really forks four workers.
+    """
+    machine = small_test_machine(cores_per_socket=cores_per_socket)
+    placement = place_ranks(ranks, LoadShape.FULL, machine)
+    system = generate_system(n, seed=seed)
+    job = Job(machine, placement, shards=shards)
+    job.sim.fast_p2p = fast
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        if kind == "scalapack":
+            return (yield from pdgesv_program(ctx, comm, system=sys_arg))
+        if kind == "ft":
+            return (yield from ime_ft_parallel_program(
+                ctx, comm, system=sys_arg, options=ft_options))
+        return (yield from ime_parallel_program(ctx, comm, system=sys_arg))
+
+    return job.run(program), system
+
+
+# ---------------------------------------------------------- partitioning
+def test_partition_is_node_aligned_and_balanced():
+    parts = partition_ranks(lambda r: r // 2, 8, 4)
+    assert parts == [[0, 1], [2, 3], [4, 5], [6, 7]]
+    # Node groups are never split across shards.
+    parts = partition_ranks(lambda r: r // 4, 8, 4)
+    assert parts == [[0, 1, 2, 3], [4, 5, 6, 7]]
+    # One node = one shard, whatever was asked for.
+    assert partition_ranks(lambda r: 0, 8, 4) == [[0, 1, 2, 3, 4, 5, 6, 7]]
+    # Paper scale: contiguous cover, near-even rank counts.
+    parts = partition_ranks(lambda r: r // 48, 3188, 8)
+    assert sum(len(p) for p in parts) == 3188
+    assert [p[0] for p in parts] == sorted(p[0] for p in parts)
+    assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 96
+
+
+def test_simulator_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        Simulator(shards=0)
+
+
+def test_single_shard_stays_in_process():
+    (ref, _) = run_job("ime", 64, 8, 1)
+    assert ref.shard_walls is None
+
+
+# ----------------------------------------------------- solver equivalence
+@pytest.mark.parametrize("shards", [2, 4])
+def test_ime_job_bit_identical_sharded(shards):
+    """IMe end-to-end: time, energy, traffic, and solution all equal."""
+    cps = 2 if shards == 2 else 1
+    (ref, system) = run_job("ime", 64, 8, 1, cores_per_socket=cps)
+    (sh, _) = run_job("ime", 64, 8, shards, cores_per_socket=cps)
+    assert_jobs_identical(ref, sh)
+    assert sh.shard_walls is not None and len(sh.shard_walls) == shards
+    np.testing.assert_allclose(
+        sh.rank_results[0], np.linalg.solve(system.a, system.b), atol=1e-8)
+    assert sh.traffic["messages"] > 0
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("fast", [True, False])
+def test_scalapack_job_bit_identical_sharded(shards, fast):
+    """ScaLAPACK (splits, allreduce, bcast) in both p2p modes."""
+    cps = 2 if shards == 2 else 1
+    for n in (48, 64):  # nb-overlap and aligned block-cyclic extents
+        (ref, _) = run_job("scalapack", n, 8, 1, fast=fast,
+                           cores_per_socket=cps)
+        (sh, _) = run_job("scalapack", n, 8, shards, fast=fast,
+                          cores_per_socket=cps)
+        assert_jobs_identical(ref, sh)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_ime_ft_recovery_crosses_shard_boundary(shards):
+    """Mid-solve fault recovery with the victim in a remote shard: the
+    victim leaves via ``split(color=None)``, the survivors rebuild over
+    a shard-spanning sub-communicator, and the exact-tag redistribution
+    traffic crosses the boundary."""
+    cps = 2 if shards == 2 else 1
+    opts = FtOptions(n_checksums=32, fail_rank=5, fail_level=8)
+    (ref, system) = run_job("ft", 48, 8, 1, cores_per_socket=cps,
+                            ft_options=opts)
+    (sh, _) = run_job("ft", 48, 8, shards, cores_per_socket=cps,
+                      ft_options=opts)
+    # rank 5 lives on node 2 (cps=1) or node 1 (cps=2) — not rank 0's
+    # shard either way once shards >= 2.
+    assert_jobs_identical(ref, sh)
+    x, report = sh.rank_results[0]
+    np.testing.assert_allclose(x, np.linalg.solve(system.a, system.b),
+                               atol=1e-7)
+    assert report is not None and report["recovered_at_level"] == 8
+
+
+def test_ime_ft_fault_free_sharded_message_mode():
+    opts = FtOptions(n_checksums=4)
+    (ref, _) = run_job("ft", 48, 8, 1, fast=False, ft_options=opts)
+    (sh, _) = run_job("ft", 48, 8, 2, fast=False, ft_options=opts)
+    assert_jobs_identical(ref, sh)
+
+
+# ------------------------------------------------- reference-path forcing
+def test_tracer_forces_reference_path():
+    """A tracer observes every event; sharded workers cannot host it, so
+    the run must fall back to the single-process reference — same
+    numbers, spans intact, no shard walls."""
+    from repro.obs.tracer import SpanTracer
+
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(8, LoadShape.FULL, machine)
+    system = generate_system(64, seed=0)
+    job = Job(machine, placement, shards=2)
+    tracer = SpanTracer()
+    job.attach_tracer(tracer)
+
+    def program(ctx, comm):
+        sys_arg = system if comm.rank == 0 else None
+        return (yield from ime_parallel_program(ctx, comm, system=sys_arg))
+
+    traced = job.run(program)
+    assert traced.shard_walls is None
+    assert len(tracer.spans) > 0
+    (ref, _) = run_job("ime", 64, 8, 1)
+    assert traced.duration == ref.duration
+    assert traced.traffic == ref.traffic
+
+
+def test_sanitizer_forces_reference_path(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    (sh, _) = run_job("ime", 64, 8, 2)
+    assert sh.shard_walls is None
+    monkeypatch.delenv("REPRO_SANITIZE")
+    (ref, _) = run_job("ime", 64, 8, 1)
+    assert sh.duration == ref.duration
+    assert sh.traffic == ref.traffic
+
+
+# --------------------------------------------------------- rejected cases
+def test_impure_fabric_is_rejected():
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(8, LoadShape.FULL, machine)
+    job = Job(machine, placement, shards=2, fabric_jitter=0.02)
+    assert not fabric_is_pure(job.fabric)
+
+    def program(ctx, comm):
+        yield from comm.barrier()
+
+    with pytest.raises(ShardError):
+        job.run(program)
+
+
+def test_cross_shard_any_source_recv_is_rejected():
+    from repro.simmpi.comm import ANY_SOURCE
+
+    machine = small_test_machine(cores_per_socket=2)
+    placement = place_ranks(8, LoadShape.FULL, machine)
+    job = Job(machine, placement, shards=2)
+
+    def program(ctx, comm):
+        if comm.rank == 0:
+            return (yield from comm.recv(source=ANY_SOURCE, tag=1))
+        if comm.rank == comm.size - 1:
+            yield from comm.send("x", dest=0, tag=1)
+        return None
+
+    with pytest.raises(ShardError):
+        job.run(program)
