@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test doctest lint docs-check validate-configs bench \
-	bench-quick bench-paper bench-diff figures clean
+	bench-quick bench-paper bench-diff bench-serve figures clean
 
 install:
 	python setup.py develop
@@ -48,6 +48,14 @@ bench-quick:
 # points into BENCH_simperf.json without touching the others.
 bench-paper:
 	PYTHONPATH=src python tools/bench_sim.py --skeleton --check --write
+
+# Serving-layer load test: spawns the campaign daemon on an ephemeral
+# port and drives the §5 grid through it (cold fill, warm hit-path
+# percentiles, single-flight dedup, /batch speedup).  Checks the 2x
+# regression guard against the committed BENCH_serve.json, then merges
+# this run's section into it (see docs/serving.md).
+bench-serve:
+	PYTHONPATH=src python tools/loadtest.py --check --write
 
 # Per-point speedup deltas of the working-tree BENCH_simperf.json
 # against the committed (HEAD) one.  On branches whose HEAD predates

@@ -211,6 +211,18 @@ def cmd_lint(args) -> int:
     return run_from_args(args)
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.daemon import run_from_args
+
+    return run_from_args(args)
+
+
+def cmd_loadtest(args) -> int:
+    from repro.serve.loadtest import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_run(args) -> int:
     import json
     import os
@@ -410,8 +422,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an evaluation campaign across worker processes",
         description=("Drive the full §5 analytic paper grid (default) or "
                      "a validation-scale monitored-DES grid (--quick) "
-                     "through a multiprocessing pool with the "
-                     "content-addressed result cache under .repro-cache/ "
+                     "through a multiprocessing pool with the repo-local "
+                     "content-addressed result cache "
                      "(see docs/performance.md)."),
     )
     from repro.experiments.sweep import add_arguments as _add_sweep_arguments
@@ -454,6 +466,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache root (beats the config's cache.dir and "
                         "$REPRO_CACHE_DIR; 'off' disables)")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent campaign daemon (HTTP/JSON)",
+        description=("Serve campaign points over HTTP: POST /run takes "
+                     "the same YAML spec `repro run` takes and streams "
+                     "NDJSON points; POST /batch evaluates a JSON list "
+                     "of canonical configs through the batched analytic "
+                     "engine; GET /stats exposes cache-tier and "
+                     "single-flight counters.  Served results share "
+                     "cache entries with the CLI byte for byte "
+                     "(see docs/serving.md)."),
+    )
+    from repro.serve.daemon import add_arguments as _add_serve_arguments
+    _add_serve_arguments(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="load-test the campaign daemon (maintains BENCH_serve.json)",
+        description=("Spawn a daemon on an ephemeral port with a fresh "
+                     "cache root and drive it with synthetic clients over "
+                     "the §5 grid: cold fill, warm hit-path latency "
+                     "percentiles, single-flight dedup under concurrent "
+                     "identical requests, and /batch vs per-request "
+                     "speedup.  --check guards against 2x regressions "
+                     "vs the committed BENCH_serve.json."),
+    )
+    from repro.serve.loadtest import add_arguments as _add_loadtest_arguments
+    _add_loadtest_arguments(p)
+    p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser(
         "validate-config",

@@ -118,30 +118,57 @@ class ResultCache:
         return self.root / address[:2] / f"{address}.json"
 
     # -------------------------------------------------------------- get/put
-    def get(self, config: dict, fingerprint: str):
-        """Cached ConfigResult for the exact (config, model) pair, or None."""
+    def get_dict(self, config: dict, fingerprint: str) -> dict | None:
+        """Raw ``result`` dict for the exact (config, model) pair, or None.
+
+        An entry that is valid JSON but malformed — missing the
+        ``result`` key, or a result dict the schema rejects (a truncated
+        hand edit, a foreign file at the right path) — is treated as a
+        miss and **deleted**, so the next writer replaces it instead of
+        every reader tripping over it forever.
+        """
         path = self.path_for(self.address(config, fingerprint))
         try:
             entry = json.loads(path.read_text())
+            row = entry["result"]
+            result_from_dict(row)  # schema check; value discarded
         except (FileNotFoundError, json.JSONDecodeError):
             self.misses += 1
             return None
+        except (KeyError, TypeError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
         self.hits += 1
-        return result_from_dict(entry["result"])
+        return row
 
-    def put(self, config: dict, fingerprint: str, result) -> Path:
-        """Store a result atomically; safe under concurrent writers."""
-        address = self.address(config, fingerprint)
-        path = self.path_for(address)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def get(self, config: dict, fingerprint: str):
+        """Cached ConfigResult for the exact (config, model) pair, or None."""
+        row = self.get_dict(config, fingerprint)
+        return None if row is None else result_from_dict(row)
+
+    @staticmethod
+    def entry_text(address: str, config: dict, fingerprint: str,
+                   result_dict: dict) -> str:
+        """The exact bytes an entry is stored as (deterministic, so any
+        two writers of the same (config, model, result) produce identical
+        files — the basis of every bit-identity contract)."""
         entry = {
             "schema": ENTRY_SCHEMA,
             "address": address,
             "config": config,
             "model": fingerprint,
-            "result": result_to_dict(result),
+            "result": result_dict,
         }
-        payload = json.dumps(entry, indent=1, sort_keys=True) + "\n"
+        return json.dumps(entry, indent=1, sort_keys=True) + "\n"
+
+    def write_text(self, address: str, payload: str) -> Path:
+        """Atomically store pre-rendered entry bytes under an address."""
+        path = self.path_for(address)
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
@@ -154,6 +181,47 @@ class ResultCache:
                 pass
             raise
         return path
+
+    def put_dict(self, config: dict, fingerprint: str,
+                 result_dict: dict) -> Path:
+        """Store a raw result dict atomically; safe under concurrent
+        writers."""
+        address = self.address(config, fingerprint)
+        return self.write_text(
+            address, self.entry_text(address, config, fingerprint,
+                                     result_dict))
+
+    def put(self, config: dict, fingerprint: str, result) -> Path:
+        """Store a result atomically; safe under concurrent writers."""
+        return self.put_dict(config, fingerprint, result_to_dict(result))
+
+    def delete(self, address: str) -> bool:
+        """Remove one entry (eviction); True when a file was unlinked.
+
+        ``os.unlink`` is atomic, so a concurrent reader either sees the
+        complete entry (its already-open fd stays valid) or a clean
+        miss — never a half-evicted file.
+        """
+        try:
+            os.unlink(self.path_for(address))
+        except OSError:
+            return False
+        return True
+
+    def scan(self) -> list[tuple[str, int, float]]:
+        """(address, size_bytes, mtime) of every entry under the root,
+        ordered oldest-first (ties broken by address for determinism)."""
+        found: list[tuple[str, int, float]] = []
+        if not self.root.is_dir():
+            return found
+        for path in self.root.glob("??/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # evicted between glob and stat
+            found.append((path.stem, st.st_size, st.st_mtime))
+        found.sort(key=lambda item: (item[2], item[0]))
+        return found
 
 
 _DEFAULT_CACHES: dict[Path, ResultCache] = {}

@@ -137,6 +137,46 @@ def _task_config(task: SweepTask) -> dict:
     return config
 
 
+def task_from_config(config: dict) -> SweepTask:
+    """Rebuild a SweepTask from its canonical cache-key config.
+
+    The inverse of :func:`_task_config` for the wire protocol
+    (:mod:`repro.serve`): a client that echoes a config dict from a
+    ``/run`` response gets back exactly the task — and therefore exactly
+    the cache address — it came from.  Raises ``ValueError`` for
+    unknown keys, missing fields, or a config that does not round-trip
+    (custom machines and trace dirs are not expressible here; those
+    travel as full YAML specs through ``/run``).
+    """
+    required = ("mode", "algorithm", "n", "ranks", "shape", "repetitions",
+                "seed")
+    allowed = set(required) | {"power_cap_w", "solver_options"}
+    unknown = sorted(set(config) - allowed)
+    if unknown:
+        raise ValueError(f"unknown config key(s): {', '.join(unknown)}")
+    missing = sorted(k for k in required if k not in config)
+    if missing:
+        raise ValueError(f"missing config key(s): {', '.join(missing)}")
+    LoadShape(config["shape"])  # reject unknown shapes early
+    solver_options = config.get("solver_options", {})
+    if not isinstance(solver_options, dict):
+        raise ValueError("solver_options must be a mapping")
+    task = SweepTask(
+        mode=config["mode"],
+        algorithm=config["algorithm"],
+        n=config["n"],
+        ranks=config["ranks"],
+        shape_value=config["shape"],
+        repetitions=config["repetitions"],
+        seed=config["seed"],
+        power_cap_w=config.get("power_cap_w"),
+        solver_options=tuple(sorted(solver_options.items())),
+    )
+    if _task_config(task) != config:
+        raise ValueError("config does not round-trip to a canonical task")
+    return task
+
+
 def _task_solver_kwargs(task: SweepTask) -> dict:
     """Monitored-mode solver options → the framework's solver_kwargs."""
     if not task.solver_options:

@@ -19,7 +19,7 @@ class RuleSpec:
     """Everything the tooling knows about one rule."""
 
     id: str
-    family: str        # SIM / DET / FAST / SHARD / MPI / MPIS / OBS / PERF / CFG / UNIT / E
+    family: str        # SIM / DET / FAST / SHARD / MPI / MPIS / OBS / PERF / CFG / SRV / UNIT / E
     summary: str       # one line, shows up in tables and SARIF
     rationale: str     # why this is a defect in *this* codebase
     bad: str           # minimal violating example
@@ -364,6 +364,30 @@ RULES: tuple[RuleSpec, ...] = (
             "    return list(load_spec(path).grid())\n"
         ),
         example_path="src/repro/experiments/snippet.py",
+    ),
+    RuleSpec(
+        id="SRV001", family="SRV",
+        summary="serve-layer compute or cache-path bypass",
+        rationale=(
+            "The daemon's dedup and eviction contracts assume cold "
+            "computations funnel through the single-flight scheduler "
+            "and every cache byte moves through the cache API; a "
+            "direct _compute_task/run_task call or a hard-coded "
+            ".repro-cache path silently breaks coalescing, byte "
+            "accounting, and the journal."
+        ),
+        bad=(
+            "from repro.experiments.sweep import _compute_task\n\n"
+            "def handle(server, address, task):\n"
+            "    return _compute_task(task)\n"
+        ),
+        good=(
+            "def handle(server, address, task, config, fingerprint):\n"
+            "    flight = server.scheduler.submit(\n"
+            "        address, task, meta=(config, fingerprint))\n"
+            "    return flight.wait(server.compute_timeout_s)\n"
+        ),
+        example_path="src/repro/serve/handlers.py",
     ),
     RuleSpec(
         id="UNIT001", family="UNIT",

@@ -1,0 +1,98 @@
+"""SRV001 — serve-layer compute and cache-path discipline.
+
+The campaign daemon's contracts (single-flight dedup, bounded journal-
+tracked eviction, exact ``/stats`` counters) all assume two funnels:
+cold computations go through the :class:`~repro.serve.scheduler.
+SingleFlightScheduler`, and every byte under the cache root is written
+through the cache API.  Serve-layer code that calls the sweep compute
+path directly forks an unaccounted computation — identical concurrent
+requests stop coalescing, and its cache write (``run_task`` writes
+through the *environment's* cache) bypasses the daemon's byte bound and
+journal.  Hard-coding the ``.repro-cache`` directory name has the same
+effect from the other side: a raw path constructed around
+:class:`~repro.experiments.cache.ResultCache` dodges atomic writes,
+entry accounting, and eviction.
+
+Within the serve layer — modules under ``repro/serve/`` or importing a
+``repro.serve`` module — this rule therefore flags
+
+* calls resolving to ``repro.experiments.sweep._compute_task`` or
+  ``repro.experiments.sweep.run_task`` (submit a flight to the
+  scheduler instead), and
+* string literals containing ``.repro-cache`` outside docstrings (go
+  through the cache API / ``create_server``'s ``cache_dir``).
+
+The scheduler's own worker is the one canonical compute call site and
+carries ``# repro: allow[SRV001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import ModuleInfo
+
+RULE = "SRV001"
+
+#: the serve layer: these modules' contracts are what the rule protects
+_SERVE_PREFIX = "repro.serve"
+
+#: compute-path entry points that bypass the single-flight scheduler
+_COMPUTE_PATHS = frozenset({
+    "repro.experiments.sweep._compute_task",
+    "repro.experiments.sweep.run_task",
+})
+
+#: raw cache-root fragment that bypasses the cache API
+_CACHE_FRAGMENT = ".repro-cache"
+
+
+def _in_serve_layer(module: ModuleInfo) -> bool:
+    path = module.path.replace("\\", "/")
+    if "repro/serve/" in path:
+        return True
+    return any(
+        canonical == _SERVE_PREFIX
+        or canonical.startswith(_SERVE_PREFIX + ".")
+        for canonical in module.imports.values()
+    )
+
+
+def check(module: ModuleInfo) -> list[Finding]:
+    if not _in_serve_layer(module):
+        return []
+    findings: list[Finding] = []
+    docstrings = {
+        id(node.value) for node in ast.walk(module.tree)
+        if isinstance(node, ast.Expr)
+        and isinstance(node.value, ast.Constant)
+    }
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            callee = module.canonical(node.func)
+            if callee in _COMPUTE_PATHS:
+                findings.append(Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset + 1, rule=RULE,
+                    message=(f"serve-layer call to {callee.split('.')[-1]}()"
+                             " bypasses the single-flight scheduler — "
+                             "identical concurrent requests will not "
+                             "coalesce and the computation escapes the "
+                             "daemon's cache accounting"),
+                    text=module.line_text(node.lineno),
+                ))
+        elif (isinstance(node, ast.Constant)
+              and isinstance(node.value, str)
+              and _CACHE_FRAGMENT in node.value
+              and id(node) not in docstrings):
+            findings.append(Finding(
+                path=module.path, line=node.lineno,
+                col=node.col_offset + 1, rule=RULE,
+                message=("serve-layer code names the cache root "
+                         f"'{_CACHE_FRAGMENT}' directly — raw paths "
+                         "bypass the cache API's atomic writes, byte "
+                         "accounting, and LRU eviction"),
+                text=module.line_text(node.lineno),
+            ))
+    return findings

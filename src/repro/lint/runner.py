@@ -35,6 +35,7 @@ from repro.lint import (
     rules_perf,
     rules_shard,
     rules_sim,
+    rules_srv,
     rules_unit,
 )
 from repro.lint.cache import LintCache, content_hash, default_lint_cache, tree_digest
@@ -138,6 +139,7 @@ def _lint_module(module: ModuleInfo, facts: _TreeFacts) -> list[Finding]:
     findings.extend(rules_obs.check(module))
     findings.extend(rules_perf.check(module))
     findings.extend(rules_cfg.check(module))
+    findings.extend(rules_srv.check(module))
     findings.extend(rules_unit.check(module, graph=facts.graph,
                                      return_dims=facts.unit_ctx))
     findings = _selected(findings, options)

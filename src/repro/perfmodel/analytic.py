@@ -37,7 +37,12 @@ from repro.cluster.machine import MachineSpec, NetworkParams
 from repro.cluster.placement import Layout, LoadShape, Placement, layout_for
 from repro.energy.power_model import PackagePower
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.perfmodel.timeline import NodeTimeline, uniform_run_timelines
+from repro.perfmodel.timeline import (
+    NodeTimeline,
+    node_timeline,
+    socket_occupancies,
+    uniform_run_timelines,
+)
 from repro.solvers.ime.costmodel import ImeCostModel
 from repro.solvers.scalapack.costmodel import ScalapackCostModel
 from repro.solvers.scalapack.grid import ProcessGrid
@@ -232,19 +237,21 @@ def _energy_from_times(algorithm: str, n: int, layout: Layout,
     return energy
 
 
-def analytic_run(
-    algorithm: str,
-    n: int,
-    ranks: int,
-    shape: LoadShape,
-    machine: MachineSpec,
-    calib: Calibration = DEFAULT_CALIBRATION,
-    seed: int | None = None,
-    node_efficiency_spread: float = 0.0,
-    fabric_jitter: float = 0.0,
-    power_cap_w: float | None = None,
-) -> AnalyticResult:
-    """Evaluate one configuration analytically (one repetition)."""
+def _config_base(
+    algorithm: str, n: int, ranks: int, shape: LoadShape,
+    machine: MachineSpec, calib: Calibration,
+    power_cap_w: float | None,
+) -> tuple:
+    """Everything about a configuration that is repetition-independent:
+    ``(layout, compute, comm, messages, volume, profile, freq_ratio)``.
+
+    ``compute`` already carries the power-cap slowdown (the cap is
+    applied *before* the seeded draws in :func:`analytic_run`, so the
+    pre-seed value is the same for every repetition).  This is the heavy
+    part of an analytic evaluation — the per-level numpy arrays — and
+    sharing it across a configuration's repetitions is where the batched
+    evaluator's speedup comes from.
+    """
     algorithm = algorithm.lower()
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -273,8 +280,16 @@ def analytic_run(
             for cores in per_socket if cores > 0
         )
         compute = compute / freq_ratio
+    return layout, compute, comm, cm_msgs, cm_vol, profile, freq_ratio
 
-    # Repetition-to-repetition variance (changing node sets, fabric noise).
+
+def _seeded_times(
+    compute: float, comm: float, layout: Layout,
+    seed: int | None, node_efficiency_spread: float, fabric_jitter: float,
+) -> tuple[float, float]:
+    """Apply one repetition's variance draws (changing node sets, fabric
+    noise) to the shared base times — the exact draw order of the
+    reference path, so sharing the base is invisible bitwise."""
     if seed is not None and (node_efficiency_spread > 0 or fabric_jitter > 0):
         rng = np.random.default_rng(seed)
         if node_efficiency_spread > 0:
@@ -284,6 +299,29 @@ def analytic_run(
             compute *= float(1.0 / eff.min())  # barriers: slowest node paces
         if fabric_jitter > 0:
             comm *= float(1.0 + fabric_jitter * (2.0 * rng.random() - 1.0))
+    return compute, comm
+
+
+def analytic_run(
+    algorithm: str,
+    n: int,
+    ranks: int,
+    shape: LoadShape,
+    machine: MachineSpec,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    seed: int | None = None,
+    node_efficiency_spread: float = 0.0,
+    fabric_jitter: float = 0.0,
+    power_cap_w: float | None = None,
+) -> AnalyticResult:
+    """Evaluate one configuration analytically (one repetition)."""
+    algorithm = algorithm.lower()
+    layout, compute, comm, cm_msgs, cm_vol, _profile, freq_ratio = \
+        _config_base(algorithm, n, ranks, shape, machine, calib, power_cap_w)
+
+    # Repetition-to-repetition variance (changing node sets, fabric noise).
+    compute, comm = _seeded_times(compute, comm, layout, seed,
+                                  node_efficiency_spread, fabric_jitter)
 
     energy = _energy_from_times(
         algorithm, n, layout, machine, calib, compute, comm, freq_ratio
@@ -300,6 +338,83 @@ def analytic_run(
         volume_bytes=cm_vol,
         freq_ratio=freq_ratio,
     )
+
+
+def analytic_repetitions(
+    algorithm: str,
+    n: int,
+    ranks: int,
+    shape: LoadShape,
+    machine: MachineSpec,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    base_seed: int = 0,
+    repetitions: int = 1,
+    node_efficiency_spread: float = 0.0,
+    fabric_jitter: float = 0.0,
+    power_cap_w: float | None = None,
+) -> list[AnalyticResult]:
+    """All repetitions of one configuration, batched — bit-identical to
+    ``[analytic_run(..., seed=base_seed + rep) for rep in range(reps)]``.
+
+    Two redundancies in the reference loop are shared, neither of which
+    changes a single float:
+
+    * the per-level numpy arrays (``*_analytic_times``), the cost-model
+      message counts, and the power-cap ratio are seed-independent —
+      computed once instead of once per repetition;
+    * within a repetition, every node with the same per-socket occupancy
+      runs an identical timeline (uniform bulk-synchronous run), so the
+      energy integral is evaluated once per occupancy class (one or two
+      classes per layout) and replicated across nodes.
+
+    The seeded draws themselves replay the reference order exactly:
+    ``default_rng(base_seed + rep)``, node-efficiency vector first, then
+    the fabric-jitter scalar.
+    """
+    algorithm = algorithm.lower()
+    layout, compute0, comm0, cm_msgs, cm_vol, profile, freq_ratio = \
+        _config_base(algorithm, n, ranks, shape, machine, calib, power_cap_w)
+    flops_total = (ImeCostModel.flops(n) if algorithm == "ime"
+                   else ScalapackCostModel.flops(n))
+    dram_bytes_per_node = \
+        flops_total * profile.dram_bytes_per_flop / layout.nodes
+    occupancies = socket_occupancies(Placement(layout, machine))
+
+    results = []
+    for rep in range(repetitions):
+        compute, comm = _seeded_times(
+            compute0, comm0, layout, base_seed + rep,
+            node_efficiency_spread, fabric_jitter,
+        )
+        class_energy: dict[tuple[int, ...], dict] = {}
+        energy: dict = {}
+        for node_id, per_socket in enumerate(occupancies):
+            vals = class_energy.get(per_socket)
+            if vals is None:
+                tl = node_timeline(
+                    node_id, per_socket, machine,
+                    compute_seconds=compute, comm_seconds=comm,
+                    profile=profile,
+                    dram_bytes_per_node=dram_bytes_per_node,
+                    freq_ratio=freq_ratio,
+                )
+                vals = tl.energy_j(machine)
+                class_energy[per_socket] = vals
+            for domain, joules in vals.items():
+                energy[(node_id, domain)] = joules
+        results.append(AnalyticResult(
+            algorithm=algorithm,
+            n=n,
+            layout=layout,
+            duration=compute + comm,
+            compute_seconds=compute,
+            comm_seconds=comm,
+            node_energy_j=energy,
+            messages=cm_msgs,
+            volume_bytes=cm_vol,
+            freq_ratio=freq_ratio,
+        ))
+    return results
 
 
 def ime_analytic(n, ranks, shape, machine, **kwargs) -> AnalyticResult:

@@ -90,6 +90,72 @@ class NodeTimeline:
         return out
 
 
+def node_timeline(
+    node_id: int,
+    per_socket: tuple[int, ...],
+    machine: MachineSpec,
+    compute_seconds: float,
+    comm_seconds: float,
+    profile,
+    dram_bytes_per_node: float,
+    freq_ratio: float = 1.0,
+) -> NodeTimeline:
+    """One node's bulk-synchronous timeline for a given socket occupancy.
+
+    The per-node body of :func:`uniform_run_timelines`, factored out so
+    the batched analytic evaluator can price one timeline per *distinct*
+    occupancy class and replicate it — two nodes with the same
+    ``per_socket`` run these exact arithmetic steps on the same floats,
+    so sharing the result is bit-identical by construction.
+    """
+    n_active = sum(per_socket)
+    dram_rate_total = (
+        dram_bytes_per_node / compute_seconds if compute_seconds > 0 else 0.0
+    )
+    # Traffic follows the cores: split by socket occupancy.
+    dram_rate = tuple(
+        dram_rate_total * (c / n_active) if n_active else 0.0
+        for c in per_socket
+    )
+    tl = NodeTimeline(node_id=node_id)
+    if compute_seconds > 0:
+        tl.add(Segment(
+            duration=compute_seconds,
+            active_cores=per_socket,
+            flop_util=profile.flop_util,
+            mem_util=profile.mem_util,
+            dram_rate=dram_rate,
+            freq_ratio=freq_ratio,
+        ))
+    if comm_seconds > 0:
+        # Ranks blocked in communication busy-wait at the spin floor —
+        # matching the DES's allocation-lifetime spin intervals.
+        power = machine.power
+        tl.add(Segment(
+            duration=comm_seconds,
+            active_cores=per_socket,
+            flop_util=power.spin_flop_util,
+            mem_util=power.spin_mem_util,
+            dram_rate=tuple(0.0 for _ in per_socket),
+        ))
+    return tl
+
+
+def socket_occupancies(placement: Placement) -> list[tuple[int, ...]]:
+    """Per-node ``(ranks on socket 0, ranks on socket 1, ...)`` tuples.
+
+    Placement-derived and repetition-independent, so batched evaluation
+    computes this once per configuration rather than once per seed.
+    """
+    layout = placement.layout
+    n_sockets = placement.machine.sockets_per_node
+    return [
+        tuple(len(placement.ranks_on_socket(node_id, s))
+              for s in range(n_sockets))
+        for node_id in range(layout.nodes)
+    ]
+
+
 def uniform_run_timelines(
     placement: Placement,
     compute_seconds: float,
@@ -102,43 +168,16 @@ def uniform_run_timelines(
     placed cores active at the profile's utilizations, DRAM traffic spread
     uniformly) plus one communication segment (cores blocked in MPI —
     modelled at low utilization)."""
-    layout = placement.layout
-    timelines = []
-    duration_compute = compute_seconds
-    for node_id in range(layout.nodes):
-        per_socket = tuple(
-            len(placement.ranks_on_socket(node_id, s))
-            for s in range(placement.machine.sockets_per_node)
+    return [
+        node_timeline(
+            node_id,
+            per_socket,
+            placement.machine,
+            compute_seconds=compute_seconds,
+            comm_seconds=comm_seconds,
+            profile=profile,
+            dram_bytes_per_node=dram_bytes_per_node,
+            freq_ratio=freq_ratio,
         )
-        n_active = sum(per_socket)
-        dram_rate_total = (
-            dram_bytes_per_node / duration_compute if duration_compute > 0 else 0.0
-        )
-        # Traffic follows the cores: split by socket occupancy.
-        dram_rate = tuple(
-            dram_rate_total * (c / n_active) if n_active else 0.0
-            for c in per_socket
-        )
-        tl = NodeTimeline(node_id=node_id)
-        if duration_compute > 0:
-            tl.add(Segment(
-                duration=duration_compute,
-                active_cores=per_socket,
-                flop_util=profile.flop_util,
-                mem_util=profile.mem_util,
-                dram_rate=dram_rate,
-                freq_ratio=freq_ratio,
-            ))
-        if comm_seconds > 0:
-            # Ranks blocked in communication busy-wait at the spin floor —
-            # matching the DES's allocation-lifetime spin intervals.
-            power = placement.machine.power
-            tl.add(Segment(
-                duration=comm_seconds,
-                active_cores=per_socket,
-                flop_util=power.spin_flop_util,
-                mem_util=power.spin_mem_util,
-                dram_rate=tuple(0.0 for _ in per_socket),
-            ))
-        timelines.append(tl)
-    return timelines
+        for node_id, per_socket in enumerate(socket_occupancies(placement))
+    ]

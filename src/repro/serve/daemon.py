@@ -1,0 +1,57 @@
+"""``repro serve`` — argparse front-end for the campaign daemon."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (default 8642; 0 = ephemeral)")
+    parser.add_argument("--jobs", "-j", type=int, default=2,
+                        help="fork-pool compute workers (default 2)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache root (defaults match `repro run`: "
+                             "$REPRO_CACHE_DIR, else the repo-local "
+                             "cache dir; 'off' serves from the "
+                             "in-memory L1 alone)")
+    parser.add_argument("--cache-size", metavar="BYTES", default=None,
+                        help="disk-tier bound with K/M/G suffixes, e.g. "
+                             "64M (default unbounded); least-recently-"
+                             "used entries are evicted first")
+    parser.add_argument("--l1-entries", type=int, default=1024,
+                        help="in-memory tier entry bound (default 1024)")
+
+
+def run_from_args(args) -> int:
+    from repro.experiments.cache_tiers import parse_size
+    from repro.serve.app import create_server
+
+    max_bytes = None
+    if args.cache_size is not None:
+        try:
+            max_bytes = parse_size(args.cache_size)
+        except ValueError as exc:
+            print(f"--cache-size: {exc}", file=sys.stderr)
+            return 2
+    server = create_server(args.host, args.port, jobs=args.jobs,
+                           cache_dir=args.cache_dir, max_bytes=max_bytes,
+                           l1_entries=args.l1_entries)
+    host, port = server.server_address[:2]
+    root = server.tiers.disk.root.resolve() if server.tiers.disk else "off"
+    bound = f"{max_bytes}B" if max_bytes is not None else "unbounded"
+    print(f"repro serve: http://{host}:{port} "
+          f"(jobs={args.jobs}, cache={root} [{bound}], "
+          f"l1={args.l1_entries} entries)", flush=True)
+    print(f"model {server.model[:12]}  calibration {server.calibration[:12]}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown_all()
+    return 0

@@ -1,0 +1,476 @@
+"""Load-test harness for the campaign daemon (``repro loadtest``).
+
+Spawns a daemon on an ephemeral port with a **fresh** cache root, then
+drives it with synthetic clients through four phases:
+
+* **cold** — one ``POST /run`` of the full §5 paper grid (72 analytic
+  configurations) streamed through the single-flight scheduler's fork
+  pool; every point is a cache miss by construction.
+* **warm** — thousands of single-config ``POST /batch`` requests,
+  round-robin over the grid from ``--threads`` concurrent clients; every
+  request is an L1 hit, and the p50/p99 request latencies are the
+  daemon's serving overhead.
+* **dedup** — N clients barrier-released onto *identical* cold requests
+  (a fresh seed, so nothing is cached); the scheduler's launched/
+  coalesced deltas prove N requests cost one computation.
+* **batch** — a sequence of cold per-request ``/run`` evaluations versus
+  one cold ``/batch`` over equally many fresh configurations; the
+  per-config speedup is the batched analytic engine doing less work,
+  not a measurement artifact (both sides include full HTTP round trips).
+
+The report lands in ``BENCH_serve.json`` (``--write``), one section per
+mode (``full``/``quick``); ``--check`` fails on 2x-style regressions
+against the committed baseline, and always fails if dedup launched more
+than one computation.  Wall-clock timing is the measurand throughout,
+hence the DET allow markers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import math
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+#: --check tolerance: fail only when a metric degrades by more than 2x
+REGRESSION_FACTOR = 2.0
+#: latency guards additionally require the measured value to exceed
+#: this floor: 2x of a sub-millisecond p99 is within OS-scheduler noise
+#: on a loaded host, and the acceptance bar for warm serving is 10 ms.
+LATENCY_FLOOR_S = 0.005
+#: throughput guard floor, same reasoning from the other side: warm
+#: req/s on a shared box swings ~2.5x run to run, while the regression
+#: class this guards against (per-request stalls on the hit path)
+#: collapses throughput by >100x.  The guard fires below
+#: min(baseline/2, this).
+THROUGHPUT_FLOOR_RPS = 300.0
+
+#: the §5.1 evaluation grid as a /run body (same spec as configs/paper.yaml)
+PAPER_SPEC = """\
+schema: 1
+experiment:
+  mode: analytic
+  algorithms: [ime, scalapack]
+  matrix_sizes: [8640, 17280, 25920, 34560]
+  ranks: [144, 576, 1296]
+  shapes: [full, half-1socket, half-2sockets]
+  repetitions: 10
+  seed: 0
+"""
+
+
+def _single_spec(algorithm: str, n: int, ranks: int, shape: str,
+                 seed: int) -> str:
+    """A one-task /run body (used for the cold per-request phases)."""
+    return (f"schema: 1\n"
+            f"experiment:\n"
+            f"  mode: analytic\n"
+            f"  algorithms: [{algorithm}]\n"
+            f"  matrix_sizes: [{n}]\n"
+            f"  ranks: [{ranks}]\n"
+            f"  shapes: [{shape}]\n"
+            f"  repetitions: 10\n"
+            f"  seed: {seed}\n")
+
+
+def _fresh_config(index: int, seed: int) -> dict:
+    """A canonical analytic config off the cached grid (fresh seed)."""
+    algorithms = ("ime", "scalapack")
+    sizes = (8640, 17280, 25920, 34560)
+    ranks = (144, 576, 1296)
+    return {
+        "mode": "analytic",
+        "algorithm": algorithms[index % 2],
+        "n": sizes[index % 4],
+        "ranks": ranks[index % 3],
+        "shape": "full",
+        "repetitions": 10,
+        "seed": seed,
+    }
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Deterministic nearest-rank quantile over pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class Client:
+    """One synthetic client: a persistent HTTP connection to the daemon."""
+
+    def __init__(self, port: int, timeout: float = 300.0):
+        self._conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=timeout)
+
+    def request(self, method: str, path: str, body: str | None = None):
+        """→ (status, parsed-JSON body or NDJSON line list)."""
+        self._conn.request(method, path,
+                           body=body.encode() if body else None)
+        response = self._conn.getresponse()
+        raw = response.read()
+        if response.headers.get("Connection") == "close" or \
+                response.will_close:
+            self._conn.close()
+        text = raw.decode()
+        if response.headers.get_content_type() == "application/x-ndjson":
+            return response.status, [json.loads(line)
+                                     for line in text.splitlines()]
+        return response.status, json.loads(text) if text else None
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _phase_cold(port: int) -> tuple[dict, list[dict]]:
+    client = Client(port)
+    t0 = time.perf_counter()  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    status, lines = client.request("POST", "/run", PAPER_SPEC)
+    wall = time.perf_counter() - t0  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    client.close()
+    if status != 200:
+        raise RuntimeError(f"cold /run failed: HTTP {status}: {lines}")
+    points = [line for line in lines if line["type"] == "point"]
+    errors = [line for line in lines if line["type"] == "error"]
+    if errors or not points:
+        raise RuntimeError(f"cold /run returned errors: {errors}")
+    report = {
+        "tasks": len(points),
+        "from_cache": sum(1 for p in points if p["cached"]),
+        "wall_s": wall,
+    }
+    return report, [p["config"] for p in points]
+
+
+def _phase_warm(port: int, configs: list[dict], rounds: int,
+                threads: int) -> dict:
+    # Untimed priming pass: first-touch costs (code paths, allocator,
+    # per-thread connections) belong to none of the measured requests.
+    primer = Client(port)
+    for config in configs:
+        status, _ = primer.request("POST", "/batch",
+                                   json.dumps({"configs": [config]}))
+        if status != 200:
+            raise RuntimeError(f"warm priming failed: HTTP {status}")
+    primer.close()
+    jobs: list[dict] = [configs[i % len(configs)]
+                       for i in range(rounds * len(configs))]
+    latencies: list[list[float]] = [[] for _ in range(threads)]
+    hits = [0] * threads
+    errors: list[str] = []
+    lock = threading.Lock()
+    cursor = {"next": 0}
+
+    def worker(slot: int) -> None:
+        client = Client(port)
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(jobs):
+                    break
+                cursor["next"] = index + 1
+            body = json.dumps({"configs": [jobs[index]]})
+            t0 = time.perf_counter()  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+            status, payload = client.request("POST", "/batch", body)
+            latencies[slot].append(time.perf_counter() - t0)  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+            if status != 200:
+                with lock:
+                    errors.append(f"HTTP {status}: {payload}")
+                break
+            hits[slot] += payload["from_cache"]
+        client.close()
+
+    pool = [threading.Thread(target=worker, args=(slot,))
+            for slot in range(threads)]
+    t0 = time.perf_counter()  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - t0  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    if errors:
+        raise RuntimeError(f"warm phase failed: {errors[0]}")
+    flat = sorted(lat for bucket in latencies for lat in bucket)
+    return {
+        "requests": len(flat),
+        "priming_requests": len(configs),
+        "threads": threads,
+        "rounds": rounds,
+        "hit_fraction": sum(hits) / max(1, len(flat)),
+        "p50_s": quantile(flat, 0.50),
+        "p99_s": quantile(flat, 0.99),
+        "max_s": flat[-1] if flat else 0.0,
+        "throughput_rps": len(flat) / wall if wall > 0 else 0.0,
+        "wall_s": wall,
+    }
+
+
+def _phase_dedup(port: int, clients: int, seed: int) -> dict:
+    stats = Client(port)
+    _, before = stats.request("GET", "/stats")
+    body = _single_spec("ime", 34560, 1296, "full", seed)
+    barrier = threading.Barrier(clients)
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        try:
+            client = Client(port)
+            barrier.wait()
+            status, lines = client.request("POST", "/run", body)
+            point_ok = status == 200 and any(
+                line["type"] == "point" for line in lines
+            )
+            if not point_ok:
+                with lock:
+                    failures.append(f"HTTP {status}")
+            client.close()
+        except Exception as exc:
+            with lock:
+                failures.append(repr(exc))
+
+    pool = [threading.Thread(target=worker) for _ in range(clients)]
+    t0 = time.perf_counter()  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - t0  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    if failures:
+        raise RuntimeError(f"dedup phase failed: {failures[0]}")
+    _, after = stats.request("GET", "/stats")
+    stats.close()
+    launched = (after["scheduler"]["launched"]
+                - before["scheduler"]["launched"])
+    coalesced = (after["scheduler"]["coalesced"]
+                 - before["scheduler"]["coalesced"])
+    return {
+        "clients": clients,
+        "launched": launched,
+        "coalesced": coalesced,
+        "factor": clients / max(1, launched),
+        "wall_s": wall,
+    }
+
+
+def _phase_batch(port: int, configs_per_side: int, seed: int) -> dict:
+    client = Client(port, timeout=600.0)
+    # Per-request side: cold single-task /run requests, sequentially —
+    # each one is a full run_analytic repetition loop in a pool worker.
+    loop_t0 = time.perf_counter()  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    for index in range(configs_per_side):
+        config = _fresh_config(index, seed + index)
+        status, lines = client.request(
+            "POST", "/run",
+            _single_spec(config["algorithm"], config["n"], config["ranks"],
+                         config["shape"], config["seed"]),
+        )
+        if status != 200:
+            raise RuntimeError(f"batch-loop /run failed: HTTP {status}")
+    loop_wall = time.perf_counter() - loop_t0  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    # Batched side: one /batch over equally many *different* fresh
+    # configurations (disjoint seeds, so both sides start cold).
+    batch_configs = [_fresh_config(index, seed + configs_per_side + index)
+                     for index in range(configs_per_side)]
+    batch_t0 = time.perf_counter()  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    status, payload = client.request(
+        "POST", "/batch", json.dumps({"configs": batch_configs})
+    )
+    batch_wall = time.perf_counter() - batch_t0  # repro: allow[DET001,DET101] -- wall-clock IS the measurand here
+    client.close()
+    if status != 200 or payload["from_cache"] != 0:
+        raise RuntimeError(
+            f"batch phase failed: HTTP {status}, payload {payload!r:.200}"
+        )
+    return {
+        "configs": configs_per_side,
+        "loop_wall_s": loop_wall,
+        "batch_wall_s": batch_wall,
+        "per_config_speedup": (loop_wall / batch_wall
+                               if batch_wall > 0 else 0.0),
+    }
+
+
+def run_loadtest(mode: str = "full", jobs: int = 4,
+                 threads: int = 0) -> dict:
+    """Run all four phases against a freshly spawned daemon.
+
+    ``threads`` = 0 scales the warm-phase client count to the CPU count.
+    """
+    import os
+
+    from repro.serve.app import create_server
+
+    if threads <= 0:
+        threads = max(1, os.cpu_count() or 1)
+    quick = mode == "quick"
+    cache_root = tempfile.mkdtemp(prefix="repro-loadtest-")
+    server = create_server(port=0, jobs=jobs, cache_dir=cache_root)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        cold, configs = _phase_cold(port)
+        warm = _phase_warm(port, configs,
+                           rounds=2 if quick else 14,
+                           threads=min(threads, 8) if quick else threads)
+        dedup = _phase_dedup(port, clients=8 if quick else 32, seed=990001)
+        batch = _phase_batch(port, configs_per_side=4 if quick else 16,
+                             seed=880001)
+        stats_client = Client(port)
+        _, stats = stats_client.request("GET", "/stats")
+        stats_client.close()
+    finally:
+        server.shutdown_all()
+    total = (1 + warm["priming_requests"] + warm["requests"]
+             + dedup["clients"] + batch["configs"] + 1)
+    return {
+        "mode": mode,
+        "jobs": jobs,
+        "requests_total": total,
+        "cold": cold,
+        "warm": warm,
+        "dedup": dedup,
+        "batch": batch,
+        "daemon_stats": {
+            "cache": stats["cache"],
+            "scheduler": stats["scheduler"],
+        },
+    }
+
+
+def check_regression(section: dict, baseline: dict | None) -> list[str]:
+    """Hard invariants always; 2x-style guards when a baseline exists."""
+    failures = []
+    if section["dedup"]["launched"] != 1:
+        failures.append(
+            f"dedup: {section['dedup']['clients']} identical cold requests "
+            f"launched {section['dedup']['launched']} computations "
+            f"(expected exactly 1)"
+        )
+    if section["cold"]["from_cache"] != 0:
+        failures.append("cold phase saw cache hits on a fresh root")
+    if section["warm"]["hit_fraction"] < 1.0:
+        failures.append(
+            f"warm phase hit fraction {section['warm']['hit_fraction']:.3f}"
+            f" < 1.0"
+        )
+    if baseline is None:
+        return failures
+    checks = [
+        ("warm p99_s", section["warm"]["p99_s"],
+         max(baseline["warm"]["p99_s"] * REGRESSION_FACTOR,
+             LATENCY_FLOOR_S), "<="),
+        ("warm throughput_rps", section["warm"]["throughput_rps"],
+         min(baseline["warm"]["throughput_rps"] / REGRESSION_FACTOR,
+             THROUGHPUT_FLOOR_RPS), ">="),
+        ("batch per_config_speedup", section["batch"]["per_config_speedup"],
+         baseline["batch"]["per_config_speedup"] / REGRESSION_FACTOR, ">="),
+    ]
+    for label, value, bound, op in checks:
+        ok = value <= bound if op == "<=" else value >= bound
+        if not ok:
+            failures.append(
+                f"{label}: {value:.4g} violates {op} {bound:.4g} "
+                f"(baseline x{REGRESSION_FACTOR:g} guard)"
+            )
+    return failures
+
+
+def format_report(report: dict) -> str:
+    warm, dedup, batch = report["warm"], report["dedup"], report["batch"]
+    lines = [
+        f"loadtest [{report['mode']}]: {report['requests_total']} requests "
+        f"(jobs={report['jobs']})",
+        f"  cold : {report['cold']['tasks']} tasks in "
+        f"{report['cold']['wall_s']:.2f}s",
+        f"  warm : {warm['requests']} requests x {warm['threads']} threads  "
+        f"p50 {warm['p50_s'] * 1e3:.2f} ms  p99 {warm['p99_s'] * 1e3:.2f} ms  "
+        f"{warm['throughput_rps']:.0f} req/s",
+        f"  dedup: {dedup['clients']} identical cold clients -> "
+        f"{dedup['launched']} computation(s), {dedup['coalesced']} coalesced "
+        f"(factor {dedup['factor']:.0f}x)",
+        f"  batch: {batch['configs']} configs  loop {batch['loop_wall_s']:.2f}s"
+        f" vs batch {batch['batch_wall_s']:.2f}s  -> "
+        f"{batch['per_config_speedup']:.1f}x per config",
+    ]
+    return "\n".join(lines)
+
+
+def load_report(path: Path) -> dict | None:
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return report if report.get("schema") == SCHEMA_VERSION else None
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI variant (fewer rounds and clients)")
+    parser.add_argument("--jobs", "-j", type=int, default=4,
+                        help="daemon compute workers (default 4)")
+    parser.add_argument("--threads", type=int, default=0,
+                        help="synthetic warm-phase clients (default 0 = "
+                             "one per CPU; on a GIL runtime, clients "
+                             "beyond the core count measure the OS "
+                             "scheduler's queueing, not the daemon)")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_serve.json",
+                        help="report file (default BENCH_serve.json)")
+    parser.add_argument("--write", action="store_true",
+                        help="merge this run's section into the report file")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regressions vs the report file "
+                             "(and always on dedup/hit-path violations)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the section as JSON")
+
+
+def build_parser(prog: str = "loadtest") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Load-test the campaign daemon "
+                    "(maintains BENCH_serve.json)",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def main(argv=None, prog: str = "loadtest") -> int:
+    return run_from_args(build_parser(prog).parse_args(argv))
+
+
+def run_from_args(args) -> int:
+    mode = "quick" if args.quick else "full"
+    section = run_loadtest(mode=mode, jobs=args.jobs, threads=args.threads)
+    print(format_report(section))
+    if args.json:
+        print(json.dumps(section, indent=2))
+    path = Path(args.out)
+    existing = load_report(path)
+    status = 0
+    if args.check:
+        baseline = (existing or {}).get("modes", {}).get(mode)
+        failures = check_regression(section, baseline)
+        if baseline is None:
+            print(f"check: no {mode} baseline in {path}; "
+                  f"hard invariants only")
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print("check: OK")
+    if args.write:
+        report = existing or {"schema": SCHEMA_VERSION, "modes": {}}
+        report["modes"][mode] = section
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return status

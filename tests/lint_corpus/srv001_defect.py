@@ -1,0 +1,27 @@
+"""SRV001 defect: a serve-layer request handler (it imports the
+scheduler, so it is part of the daemon) computes a cache miss by
+calling the sweep compute path directly instead of submitting a
+flight.  Identical concurrent requests stop coalescing, and the
+computation's cache write escapes the daemon's byte accounting.  It
+also spells out the cache-root directory name instead of going
+through the cache API."""
+
+from pathlib import Path
+
+from repro.experiments.sweep import _compute_task
+from repro.serve.scheduler import SingleFlightScheduler  # noqa: F401
+
+
+def handle_run(server, address, task):
+    row = server.tiers.get_by_address(address)
+    if row is None:
+        # Direct compute: forks a second, unaccounted computation
+        # whenever a flight for this address is already in the air.
+        row = _compute_task(task)
+    return row
+
+
+def cache_file(address):
+    # Raw path around the cache API: dodges atomic writes and the
+    # journal-tracked eviction bound.
+    return Path(".repro-cache") / address[:2] / (address + ".json")

@@ -1,0 +1,21 @@
+"""SRV001 twin: the same request handler routed the sanctioned way —
+cold misses become flights on the single-flight scheduler (concurrent
+identical requests coalesce onto one computation, and the store hook
+writes through the tiered cache), and the cache root is whatever the
+tier object was constructed with, never a spelled-out path."""
+
+from repro.serve.scheduler import SingleFlightScheduler  # noqa: F401
+
+
+def handle_run(server, address, task, config, fingerprint):
+    row = server.tiers.get(config, fingerprint)
+    if row is None:
+        flight = server.scheduler.submit(
+            address, task, meta=(config, fingerprint))
+        row = flight.wait(server.compute_timeout_s)
+    return row
+
+
+def cache_file(server, address):
+    # The disk tier owns the root; entry layout stays its business.
+    return server.tiers.disk.entry_path(address)

@@ -1,0 +1,340 @@
+"""Bounded two-tier cache tests: LRU bounds, journal recency, and
+contention (threads and fork workers racing get/put/eviction).
+
+The daemon's contracts under test: the disk tier never exceeds its byte
+bound, eviction is least-recently-used and inclusive of L1, a reader
+concurrent with eviction sees a full entry or a clean miss (never a
+torn one), re-caching after eviction is bit-identical, and the
+``/stats`` counters stay coherent under arbitrary interleavings.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.cluster.placement import LoadShape
+from repro.experiments.cache import ResultCache, result_to_dict
+from repro.experiments.cache_tiers import (
+    JOURNAL_NAME,
+    TieredResultCache,
+    parse_size,
+)
+from repro.experiments.runner import ConfigResult
+
+FP = "testmodel0123456789abcdef"
+
+
+def config_for(i: int) -> dict:
+    return {"algorithm": "ime", "n": 8640 + i, "ranks": 144, "shape": "full"}
+
+
+def row_for(i: int) -> dict:
+    return result_to_dict(ConfigResult(
+        algorithm="ime", n=8640 + i, ranks=144, shape=LoadShape.FULL,
+        repetitions=10, mean_duration=1.0 + i, stdev_duration=0.01,
+        mean_total_j=1000.0 + i, mean_package_j=800.0, mean_dram_j=200.0,
+        domain_means_j={"package-0": 400.0, "dram-0": 100.0},
+    ))
+
+
+def entry_bytes(i: int) -> int:
+    address = TieredResultCache.address(config_for(i), FP)
+    text = ResultCache.entry_text(address, config_for(i), FP, row_for(i))
+    return len(text.encode("utf-8"))
+
+
+# ------------------------------------------------------------- parse_size
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("4096", 4096), ("4k", 4096), ("64M", 64 * 1024 ** 2),
+        ("1G", 1024 ** 3), (" 2K ", 2048),
+    ])
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "64Q", "-1", "1.5M"])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+
+# ------------------------------------------------------------------ tiers
+class TestTiers:
+    def test_l1_hit_needs_no_disk(self, tmp_path):
+        tiers = TieredResultCache(tmp_path / "c")
+        tiers.put(config_for(0), FP, row_for(0))
+        assert tiers.get(config_for(0), FP) == row_for(0)
+        stats = tiers.stats()
+        assert stats["l1"]["hits"] == 1
+        assert stats["l2"]["hits"] == 0  # never touched the disk
+
+    def test_disk_hit_promotes_into_l1(self, tmp_path):
+        tiers = TieredResultCache(tmp_path / "c")
+        tiers.put(config_for(0), FP, row_for(0))
+        # A fresh instance has a cold L1 but a warm disk.
+        fresh = TieredResultCache(tmp_path / "c")
+        assert fresh.get(config_for(0), FP) == row_for(0)
+        assert fresh.stats()["l2"]["hits"] == 1
+        assert fresh.get(config_for(0), FP) == row_for(0)
+        assert fresh.stats()["l1"]["hits"] == 1  # promoted
+
+    def test_l1_entry_bound_holds(self, tmp_path):
+        tiers = TieredResultCache(tmp_path / "c", l1_entries=4)
+        for i in range(10):
+            tiers.put(config_for(i), FP, row_for(i))
+        assert tiers.stats()["l1"]["entries"] == 4
+        # Evicted from L1 only: still answered, via disk.
+        assert tiers.get(config_for(0), FP) == row_for(0)
+
+    def test_memory_only_mode(self):
+        tiers = TieredResultCache(None, l1_entries=2)
+        tiers.put(config_for(0), FP, row_for(0))
+        assert tiers.get(config_for(0), FP) == row_for(0)
+        tiers.put(config_for(1), FP, row_for(1))
+        tiers.put(config_for(2), FP, row_for(2))
+        assert tiers.get(config_for(0), FP) is None  # L1-evicted, no disk
+        assert tiers.stats()["l2"]["enabled"] is False
+
+    def test_byte_bound_evicts_lru_first(self, tmp_path):
+        size = entry_bytes(0)
+        # l1_entries=1 so the get below reads (and touches) the disk tier.
+        tiers = TieredResultCache(tmp_path / "c", max_bytes=3 * size + 16,
+                                  l1_entries=1)
+        for i in range(3):
+            tiers.put(config_for(i), FP, row_for(i))
+        assert tiers.stats()["l2"]["evictions"] == 0
+        tiers.get(config_for(0), FP)  # refresh 0: 1 is now the LRU
+        tiers.put(config_for(3), FP, row_for(3))
+        stats = tiers.stats()
+        assert stats["l2"]["evictions"] == 1
+        assert stats["l2"]["bytes"] <= tiers.max_bytes
+        disk = ResultCache(tmp_path / "c")
+        assert disk.get_dict(config_for(1), FP) is None      # the victim
+        assert disk.get_dict(config_for(0), FP) is not None  # recently used
+
+    def test_eviction_is_inclusive_and_recache_bit_identical(self, tmp_path):
+        size = entry_bytes(0)
+        tiers = TieredResultCache(tmp_path / "c", max_bytes=2 * size + 8)
+        tiers.put(config_for(0), FP, row_for(0))
+        address = tiers.address(config_for(0), FP)
+        before = ResultCache(tmp_path / "c").path_for(address).read_bytes()
+        for i in (1, 2):  # push entry 0 out of the disk tier
+            tiers.put(config_for(i), FP, row_for(i))
+        # Inclusive downwards: not answered from L1 either.
+        assert tiers.get(config_for(0), FP) is None
+        tiers.put(config_for(0), FP, row_for(0))
+        after = ResultCache(tmp_path / "c").path_for(address).read_bytes()
+        assert after == before
+
+    def test_entry_larger_than_budget_serves_from_l1_only(self, tmp_path):
+        tiers = TieredResultCache(tmp_path / "c", max_bytes=64)
+        tiers.put(config_for(0), FP, row_for(0))
+        assert tiers.get(config_for(0), FP) == row_for(0)
+        assert tiers.stats()["l2"]["entries"] == 0
+
+    def test_overwrite_does_not_double_count(self, tmp_path):
+        tiers = TieredResultCache(tmp_path / "c", max_bytes=10 * entry_bytes(0))
+        for _ in range(5):
+            tiers.put(config_for(0), FP, row_for(0))
+        assert tiers.stats()["l2"]["entries"] == 1
+        assert tiers.total_bytes == entry_bytes(0)
+
+
+# ---------------------------------------------------------------- journal
+class TestJournal:
+    def test_recency_survives_restart(self, tmp_path):
+        size = entry_bytes(0)
+        tiers = TieredResultCache(tmp_path / "c", max_bytes=4 * size + 16)
+        for i in range(3):
+            tiers.put(config_for(i), FP, row_for(i))
+        tiers.get(config_for(0), FP)  # L1 hit — no journal touch needed...
+        fresh = TieredResultCache(tmp_path / "c", max_bytes=4 * size + 16)
+        fresh.get(config_for(0), FP)  # ...this one reads disk and touches
+        restarted = TieredResultCache(tmp_path / "c",
+                                      max_bytes=3 * size + 16)
+        restarted.put(config_for(3), FP, row_for(3))
+        disk = ResultCache(tmp_path / "c")
+        # 1 was the LRU at restart (0 was touched after its put).
+        assert disk.get_dict(config_for(1), FP) is None
+        assert disk.get_dict(config_for(0), FP) is not None
+
+    def test_journal_is_compacted(self, tmp_path):
+        tiers = TieredResultCache(tmp_path / "c")
+        for _ in range(300):
+            tiers.put(config_for(0), FP, row_for(0))
+        lines = (tmp_path / "c" / JOURNAL_NAME).read_text().splitlines()
+        assert len(lines) <= 257  # max(256, 8 * live entries) + this put
+
+    def test_torn_journal_line_is_skipped(self, tmp_path):
+        tiers = TieredResultCache(tmp_path / "c")
+        tiers.put(config_for(0), FP, row_for(0))
+        with (tmp_path / "c" / JOURNAL_NAME).open("a") as fh:
+            fh.write('{"op": "tou')  # interrupted append
+        restarted = TieredResultCache(tmp_path / "c")
+        assert restarted.stats()["l2"]["entries"] == 1
+        assert restarted.get(config_for(0), FP) == row_for(0)
+
+    def test_refresh_picks_up_foreign_writes(self, tmp_path):
+        """Entries written by another process (a sweep sharing the root)
+        appear in the accounting after refresh()."""
+        tiers = TieredResultCache(tmp_path / "c")
+        ResultCache(tmp_path / "c").put_dict(config_for(7), FP, row_for(7))
+        tiers.refresh()
+        assert tiers.stats()["l2"]["entries"] == 1
+        assert tiers.get(config_for(7), FP) == row_for(7)
+
+
+# ------------------------------------------------------------- contention
+def _pool_put(i: int) -> str:
+    """Fork worker: write an entry through the plain disk cache, the way
+    an out-of-process ``repro sweep`` sharing the root would."""
+    cache = ResultCache(_POOL_ROOT)
+    path = cache.put_dict(config_for(i), FP, row_for(i))
+    return path.stem
+
+
+_POOL_ROOT = None
+
+
+def _pool_init(root):
+    global _POOL_ROOT
+    _POOL_ROOT = root
+
+
+class TestContention:
+    N_CONFIGS = 24
+    THREADS = 4
+    ROUNDS = 6
+
+    def test_threads_racing_get_put_evict(self, tmp_path):
+        """Hammer one tier instance from several threads with a byte
+        bound tight enough to force continuous eviction.  Invariants:
+        no torn reads (every hit equals the expected row), the byte
+        bound holds at every observation, and the counters add up."""
+        size = entry_bytes(0)
+        tiers = TieredResultCache(tmp_path / "c",
+                                  max_bytes=(self.N_CONFIGS // 3) * size,
+                                  l1_entries=self.N_CONFIGS // 4)
+        expected = {i: row_for(i) for i in range(self.N_CONFIGS)}
+        errors: list[str] = []
+        gets = puts = self.THREADS * self.ROUNDS * self.N_CONFIGS
+
+        def worker(offset: int) -> None:
+            for round_ in range(self.ROUNDS):
+                for step in range(self.N_CONFIGS):
+                    i = (step + offset * 7) % self.N_CONFIGS
+                    tiers.put(config_for(i), FP, expected[i])
+                    j = (step + offset * 11 + round_) % self.N_CONFIGS
+                    row = tiers.get(config_for(j), FP)
+                    if row is not None and row != expected[j]:
+                        errors.append(f"torn read for config {j}")
+                    if tiers.total_bytes > tiers.max_bytes:
+                        errors.append("byte bound exceeded")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        stats = tiers.stats()
+        assert stats["l2"]["bytes"] <= tiers.max_bytes
+        assert stats["l1"]["hits"] + stats["l1"]["misses"] == gets
+        assert (stats["l2"]["hits"] + stats["l2"]["misses"]
+                == stats["l1"]["misses"])
+        assert stats["puts"] == puts
+        assert stats["l2"]["evictions"] > 0  # the bound actually bit
+        # On-disk accounting agrees with reality after the dust settles.
+        tiers.refresh()
+        disk = ResultCache(tmp_path / "c")
+        assert tiers.total_bytes == sum(n for _, n, _ in disk.scan())
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs the fork start method")
+    def test_fork_writers_against_tier_readers(self, tmp_path):
+        """Fork workers write entries to the shared root (atomic
+        mkstemp+replace) while tier-side threads read the same
+        addresses: every read is a full entry or a clean miss."""
+        root = tmp_path / "c"
+        tiers = TieredResultCache(root, l1_entries=4)
+        expected = {i: row_for(i) for i in range(self.N_CONFIGS)}
+        errors: list[str] = []
+        done = threading.Event()
+
+        def reader() -> None:
+            while not done.is_set():
+                for i in range(self.N_CONFIGS):
+                    row = tiers.get(config_for(i), FP)
+                    if row is not None and row != expected[i]:
+                        errors.append(f"torn read for config {i}")
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=3, initializer=_pool_init,
+                      initargs=(root,)) as pool:
+            stems = pool.map(_pool_put, list(range(self.N_CONFIGS)) * 2)
+        done.set()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        assert len(set(stems)) == self.N_CONFIGS
+        tiers.refresh()
+        assert tiers.stats()["l2"]["entries"] == self.N_CONFIGS
+        # Bit-identity across writers: the fork workers' bytes are the
+        # bytes the tier itself would have written.
+        disk = ResultCache(root)
+        for i in range(self.N_CONFIGS):
+            address = tiers.address(config_for(i), FP)
+            assert (disk.path_for(address).read_text()
+                    == disk.entry_text(address, config_for(i), FP,
+                                       expected[i]))
+
+    def test_concurrent_eviction_reader_never_sees_partial_file(self, tmp_path):
+        """Readers racing an evicting writer: JSON decode errors would
+        surface as schema-rejected rows; assert none do."""
+        size = entry_bytes(0)
+        tiers = TieredResultCache(tmp_path / "c", max_bytes=3 * size,
+                                  l1_entries=1)
+        expected = {i: row_for(i) for i in range(8)}
+        errors: list[str] = []
+        done = threading.Event()
+
+        def churn() -> None:
+            for _ in range(40):
+                for i in range(8):
+                    tiers.put(config_for(i), FP, expected[i])
+            done.set()
+
+        def reader() -> None:
+            disk = ResultCache(tmp_path / "c")
+            while not done.is_set():
+                for i in range(8):
+                    row = disk.get_dict(config_for(i), FP)
+                    if row is not None and row != expected[i]:
+                        errors.append(f"partial entry for config {i}")
+
+        threads = [threading.Thread(target=churn)] + \
+                  [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert tiers.total_bytes <= tiers.max_bytes
+
+
+# ----------------------------------------------------- entry determinism
+def test_entry_bytes_are_deterministic():
+    address = TieredResultCache.address(config_for(0), FP)
+    one = ResultCache.entry_text(address, config_for(0), FP, row_for(0))
+    two = ResultCache.entry_text(address, config_for(0), FP,
+                                 json.loads(json.dumps(row_for(0))))
+    assert one == two

@@ -20,6 +20,7 @@ NEW_FAMILY_RULES = frozenset({
     "DET101", "DET102",
     "MPIS001", "MPIS002", "MPIS003",
     "SHARD001",
+    "SRV001",
 })
 
 RULES = sorted(p.stem.split("_")[0].upper()

@@ -109,6 +109,27 @@ class TestResultCache:
         path.write_text("{not json")
         assert cache.get(CONFIG, fp) is None
 
+    @pytest.mark.parametrize("payload", [
+        '{"schema": 1}',                      # valid JSON, no result key
+        '{"result": {"algorithm": "ime"}}',   # result fails the schema
+        '{"result": "not-a-dict"}',           # result of the wrong type
+        '{"result": null}',
+    ], ids=["no-result-key", "schema-reject", "wrong-type", "null"])
+    def test_malformed_valid_json_is_a_miss_and_deleted(self, tmp_path,
+                                                        payload):
+        """A foreign or truncated file at the right path must not keep
+        poisoning every reader: treat it as a miss and unlink it."""
+        cache = ResultCache(tmp_path / "c")
+        fp = model_fingerprint(DEFAULT_CALIBRATION, marconi_a3())
+        path = cache.put(CONFIG, fp, sample_result())
+        path.write_text(payload)
+        assert cache.get(CONFIG, fp) is None
+        assert not path.exists()
+        assert cache.misses == 1
+        # The slot is usable again: a re-put round-trips.
+        cache.put(CONFIG, fp, sample_result())
+        assert cache.get(CONFIG, fp) == sample_result()
+
     def test_result_dict_roundtrip_handles_shape_enum(self):
         result = sample_result(shape=LoadShape.HALF_TWO_SOCKETS)
         d = result_to_dict(result)
@@ -143,6 +164,69 @@ class TestRunnerDiskCache:
         _run_analytic_cached.cache_clear()
         r = run_analytic("scalapack", 8640, 144)
         assert r.mean_duration > 0
+
+
+# ----------------------------------------------------- batched evaluation
+class TestBatchedAnalytic:
+    """The batched engine's whole point is doing *less work for the same
+    floats*: these tests pin the bit-identity contract the /batch
+    endpoint and the load-test speedup claim both rest on."""
+
+    GRID = [
+        (alg, n, ranks, shape)
+        for alg in ("ime", "scalapack")
+        for n, ranks in ((8640, 144), (17280, 576))
+        for shape in (LoadShape.FULL, LoadShape.HALF_ONE_SOCKET)
+    ]
+
+    def test_analytic_repetitions_bit_identical_to_loop(self):
+        from repro.perfmodel.analytic import (
+            analytic_repetitions,
+            analytic_run,
+        )
+        machine = marconi_a3()
+        for alg, n, ranks, shape in self.GRID:
+            batched = analytic_repetitions(
+                alg, n, ranks, shape, machine, base_seed=7, repetitions=3,
+                node_efficiency_spread=0.02, fabric_jitter=0.02)
+            loop = [
+                analytic_run(alg, n, ranks, shape, machine, seed=7 + rep,
+                             node_efficiency_spread=0.02,
+                             fabric_jitter=0.02)
+                for rep in range(3)
+            ]
+            assert batched == loop, (alg, n, ranks, shape)
+
+    def test_run_analytic_batch_matches_per_request_runs(self, monkeypatch):
+        from repro.experiments.runner import run_analytic_batch
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        _run_analytic_cached.cache_clear()
+        requests = [
+            {"algorithm": alg, "n": n, "ranks": ranks,
+             "shape": shape.value, "repetitions": 2, "base_seed": 0}
+            for alg, n, ranks, shape in self.GRID
+        ]
+        batched = run_analytic_batch(requests, cache=None)
+        reference = [
+            run_analytic(alg, n, ranks, shape, repetitions=2, base_seed=0)
+            for alg, n, ranks, shape in self.GRID
+        ]
+        assert batched == reference
+
+    def test_run_analytic_batch_shares_the_disk_cache(self):
+        from repro.experiments.runner import run_analytic_batch
+        requests = [{"algorithm": "ime", "n": 8640, "ranks": 144,
+                     "repetitions": 2}]
+        cold = run_analytic_batch(requests)
+        disk = default_result_cache()
+        hits_before = disk.hits
+        warm = run_analytic_batch(requests)
+        assert disk.hits == hits_before + 1
+        assert warm == cold
+        # ...and run_analytic addresses the same entry.
+        _run_analytic_cached.cache_clear()
+        assert run_analytic("ime", 8640, 144, repetitions=2) == cold[0]
+        assert disk.hits == hits_before + 2
 
 
 # ------------------------------------------------------------- the sweep
